@@ -1,0 +1,92 @@
+// Command ptbench regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	ptbench list
+//	ptbench [-scale small|paper] [-procs 1,2,4,8] <experiment id>...
+//	ptbench -scale paper all
+//
+// Experiment ids follow the paper's artifacts: fig1, fig3, fig5, fig6,
+// fig7, fig8, fig9, fig10, fig11, scale, the ablations ablk, ablws and
+// abldummy, and the future-work extensions ablloc and ablsched.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"spthreads/internal/harness"
+)
+
+func main() {
+	scale := flag.String("scale", "paper", "problem scale: small or paper")
+	procsFlag := flag.String("procs", "", "comma-separated processor counts to sweep (default per experiment)")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		listExperiments()
+		return
+	}
+
+	opt := harness.Options{Scale: *scale}
+	if *procsFlag != "" {
+		for _, f := range strings.Split(*procsFlag, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || p <= 0 {
+				fmt.Fprintf(os.Stderr, "ptbench: bad -procs entry %q\n", f)
+				os.Exit(2)
+			}
+			opt.Procs = append(opt.Procs, p)
+		}
+	}
+
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = nil
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := harness.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ptbench: unknown experiment %q (try: ptbench list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s: %s\n   %s\n\n", e.ID, e.Title, e.What)
+		start := time.Now()
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "ptbench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n   [%s completed in %.1fs wall clock]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+func listExperiments() {
+	for _, e := range harness.Experiments() {
+		fmt.Printf("%-9s %s\n          %s\n", e.ID, e.Title, e.What)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ptbench regenerates the paper's tables and figures.
+
+usage:
+  ptbench list
+  ptbench [-scale small|paper] [-procs 1,2,4,8] <experiment id>...
+  ptbench all
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,85 @@
+// Command pttrace runs a small fork/join program under a chosen
+// scheduler with event tracing enabled and renders a per-processor
+// Gantt chart — a direct way to *see* the difference between the
+// breadth-first FIFO queue and the depth-first space-efficient
+// scheduler.
+//
+//	pttrace [-policy adf|fifo|lifo|ws|dfd] [-procs 4] [-depth 5] [-width 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"spthreads/pthread"
+)
+
+func main() {
+	policy := flag.String("policy", "adf", "scheduler: fifo, lifo, adf, ws, dfd, rr")
+	procs := flag.Int("procs", 4, "virtual processors")
+	depth := flag.Int("depth", 5, "fork-tree depth (2^depth leaves)")
+	width := flag.Int("width", 100, "gantt chart width in buckets")
+	dotPath := flag.String("dot", "", "also write the computation DAG as Graphviz DOT to this file")
+	flag.Parse()
+
+	rec := pthread.NewTraceRecorder(1 << 20)
+	var g *pthread.DAGBuilder
+	if *dotPath != "" {
+		g = pthread.NewDAGBuilder()
+	}
+	cfg := pthread.Config{
+		Procs:        *procs,
+		Policy:       pthread.Policy(*policy),
+		DefaultStack: pthread.SmallStackSize,
+		Tracer:       rec,
+		DAG:          g,
+	}
+
+	var tree func(t *pthread.T, d int)
+	tree = func(t *pthread.T, d int) {
+		t.Charge(5000)
+		if d == 0 {
+			a := t.Malloc(32 << 10)
+			t.TouchAll(a)
+			t.Charge(40000)
+			t.Free(a)
+			return
+		}
+		t.Par(
+			func(ct *pthread.T) { tree(ct, d-1) },
+			func(ct *pthread.T) { tree(ct, d-1) },
+		)
+	}
+	stats, err := pthread.Run(cfg, func(t *pthread.T) { tree(t, *depth) })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy=%s procs=%d: %d threads, peak live %d, time %v, heap HWM %d B\n\n",
+		*policy, *procs, stats.ThreadsCreated, stats.PeakLive, stats.Time, stats.HeapHWM)
+	if g != nil {
+		if err := os.WriteFile(*dotPath, []byte(g.DOT()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("DAG: work %v, span %v, parallelism %.1f, S1 %d B -> %s\n\n",
+			g.TotalWork(), g.Span(), float64(g.TotalWork())/float64(g.Span()), g.SerialSpace(1), *dotPath)
+	}
+	fmt.Print(rec.Gantt(*procs, *width))
+
+	fmt.Println("\nbusiest threads (by dispatch count):")
+	sum := rec.Summary()
+	shown := 0
+	for i := len(sum) - 1; i >= 0 && shown < 5; i-- {
+		s := sum[i]
+		if s.Dispatches < 2 {
+			continue
+		}
+		fmt.Printf("  thread %-4d dispatched %d times, lifetime %v\n", s.Thread, s.Dispatches, s.Lifetime)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("  (every thread ran in a single dispatch)")
+	}
+}

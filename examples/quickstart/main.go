@@ -1,0 +1,55 @@
+// Quickstart: fork/join parallelism with lightweight threads on the
+// simulated multiprocessor, under the space-efficient scheduler.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spthreads/pthread"
+)
+
+// fib computes Fibonacci numbers the classic fork/join way: one
+// lightweight thread per recursive call above the cutoff. This is the
+// programming style the library is for — express all the parallelism,
+// let the scheduler balance and bound it.
+func fib(t *pthread.T, n int) int {
+	t.Charge(25) // a few cycles of bookkeeping per node
+	if n < 2 {
+		return n
+	}
+	if n < 10 {
+		return fib(t, n-1) + fib(t, n-2) // serial below the cutoff
+	}
+	var a, b int
+	t.Par(
+		func(ct *pthread.T) { a = fib(ct, n-1) },
+		func(ct *pthread.T) { b = fib(ct, n-2) },
+	)
+	return a + b
+}
+
+func main() {
+	for _, procs := range []int{1, 4, 8} {
+		var result int
+		stats, err := pthread.Run(pthread.Config{
+			Procs:        procs,
+			Policy:       pthread.PolicyADF, // the paper's space-efficient scheduler
+			DefaultStack: pthread.SmallStackSize,
+		}, func(t *pthread.T) {
+			result = fib(t, 24)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("p=%d fib(24)=%d  virtual time %v  threads %d  peak live %d  memory %s\n",
+			procs, result, stats.Time, stats.ThreadsCreated, stats.PeakLive,
+			fmtMB(stats.TotalHWM))
+	}
+	fmt.Println("\nNote: peak live threads stays near the recursion depth — the")
+	fmt.Println("scheduler bounds space at S1 + O(p*D) no matter how many threads exist.")
+}
+
+func fmtMB(b int64) string { return fmt.Sprintf("%.2fMB", float64(b)/(1<<20)) }

@@ -1,0 +1,3 @@
+module spthreads
+
+go 1.24

@@ -1,0 +1,198 @@
+package barneshut_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"spthreads/internal/barneshut"
+	"spthreads/pthread"
+)
+
+// TestTreeInvariants: every body lands in exactly one leaf and the root
+// aggregates the full mass and center of mass.
+func TestTreeInvariants(t *testing.T) {
+	_, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		b := barneshut.NewBodies(tt, 2000)
+		barneshut.Plummer(tt, b, 7)
+		tr := barneshut.NewTree(tt, b)
+		tr.BuildParallel(tt, 128)
+		tr.ComputeCOM(tt, true)
+
+		collected := tr.Root.CollectBodies(nil)
+		if len(collected) != b.N {
+			t.Errorf("tree holds %d bodies, want %d", len(collected), b.N)
+		}
+		seen := make(map[int32]bool, b.N)
+		for _, i := range collected {
+			if seen[i] {
+				t.Fatalf("body %d appears twice", i)
+			}
+			seen[i] = true
+		}
+		if diff := tr.Root.Mass - 1.0; math.Abs(diff) > 1e-9 {
+			t.Errorf("root mass = %v, want 1", tr.Root.Mass)
+		}
+		// Plummer sample is centered: root COM near origin.
+		if com := tr.Root.COM; math.Sqrt(com.Norm2()) > 1e-6 {
+			t.Errorf("root COM = %+v, want ~origin", com)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForceAccuracy compares Barnes-Hut accelerations against the
+// direct O(N^2) sum on a small system.
+func TestForceAccuracy(t *testing.T) {
+	_, err := pthread.Run(pthread.Config{Procs: 2, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		const n = 500
+		const eps = 0.05
+		b := barneshut.NewBodies(tt, n)
+		barneshut.Plummer(tt, b, 3)
+		tr := barneshut.NewTree(tt, b)
+		tr.BuildSerial(tt)
+		tr.ComputeCOM(tt, false)
+
+		var errSum, refSum float64
+		for i := 0; i < n; i += 7 {
+			approx := barneshut.AccBody(tr, int32(i), 0.5, eps*eps)
+			var direct barneshut.Vec3
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				d := b.Pos[j].Sub(b.Pos[i])
+				r2 := d.Norm2() + eps*eps
+				direct = direct.Add(d.Scale(b.Mass[j] / (r2 * math.Sqrt(r2))))
+			}
+			errSum += math.Sqrt(approx.Sub(direct).Norm2())
+			refSum += math.Sqrt(direct.Norm2())
+		}
+		if rel := errSum / refSum; rel > 0.02 {
+			t.Errorf("mean relative force error %.4f, want < 0.02 at theta=0.5", rel)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVersionsAgree: serial, fine and coarse must produce identical
+// trajectories (COM summation is made order-canonical).
+func TestVersionsAgree(t *testing.T) {
+	cfg := barneshut.Config{N: 1500, Steps: 2, Check: true}
+	posAfter := func(name string, run func(*pthread.T, barneshut.Config) []barneshut.Vec3, c barneshut.Config, procs int) []barneshut.Vec3 {
+		var out []barneshut.Vec3
+		_, err := pthread.Run(pthread.Config{Procs: procs, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+			out = run(tt, c)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return out
+	}
+	serial := posAfter("serial", barneshut.SerialRun, cfg, 1)
+	fine := posAfter("fine", barneshut.FineRun, cfg, 4)
+	cfgC := cfg
+	cfgC.Procs = 4
+	coarse := posAfter("coarse", barneshut.CoarseRun, cfgC, 4)
+
+	if len(serial) != cfg.N || len(fine) != cfg.N || len(coarse) != cfg.N {
+		t.Fatalf("snapshot lengths: %d %d %d", len(serial), len(fine), len(coarse))
+	}
+	for i := range serial {
+		if serial[i] != fine[i] {
+			t.Fatalf("fine diverges at body %d: %+v vs %+v", i, fine[i], serial[i])
+		}
+		if serial[i] != coarse[i] {
+			t.Fatalf("coarse diverges at body %d: %+v vs %+v", i, coarse[i], serial[i])
+		}
+	}
+}
+
+// TestFineThreadExplosion: the fine version forks many threads per
+// step, far beyond the processor count.
+func TestFineThreadExplosion(t *testing.T) {
+	cfg := barneshut.Config{N: 4000, Steps: 1}
+	st, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyADF}, barneshut.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ThreadsCreated-st.DummyThreads < 40 {
+		t.Errorf("fine version created only %d threads", st.ThreadsCreated)
+	}
+}
+
+// TestPlummerDistribution: the generator matches the Plummer model's
+// known shape — centered, unit mass, and roughly the right half-mass
+// radius (r_half = (2^(2/3)-1)^(-1/2) ~ 1.305 in model units).
+func TestPlummerDistribution(t *testing.T) {
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, func(tt *pthread.T) {
+		const n = 20000
+		b := barneshut.NewBodies(tt, n)
+		barneshut.Plummer(tt, b, 5)
+		radii := make([]float64, n)
+		var mass float64
+		for i := 0; i < n; i++ {
+			radii[i] = math.Sqrt(b.Pos[i].Norm2())
+			mass += b.Mass[i]
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Errorf("total mass = %v, want 1", mass)
+		}
+		sort.Float64s(radii)
+		rHalf := radii[n/2]
+		if rHalf < 1.0 || rHalf > 1.6 {
+			t.Errorf("half-mass radius = %.3f, want ~1.3 (Plummer)", rHalf)
+		}
+		// Velocities must be bound (below escape speed ~ sqrt(2) at the center).
+		for i := 0; i < n; i += 97 {
+			v2 := b.Vel[i].Norm2()
+			if v2 > 2.5 {
+				t.Fatalf("body %d unbound: v^2 = %v", i, v2)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCostzonesBalance: the partition equalizes estimated work within
+// one body's weight.
+func TestCostzonesBalance(t *testing.T) {
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, func(tt *pthread.T) {
+		const n = 5000
+		b := barneshut.NewBodies(tt, n)
+		barneshut.Plummer(tt, b, 9)
+		// Skewed weights: central bodies cost more.
+		var total int64
+		order := make([]int32, n)
+		for i := range order {
+			order[i] = int32(i)
+			w := int32(1 + 1000.0/(1.0+b.Pos[i].Norm2()))
+			b.Work[i] = w
+			total += int64(w)
+		}
+		const p = 8
+		bounds := barneshut.Costzones(b, order, p)
+		if len(bounds) != p+1 || bounds[0] != 0 || bounds[p] != n {
+			t.Fatalf("bad bounds %v", bounds)
+		}
+		for z := 0; z < p; z++ {
+			var zw int64
+			for k := bounds[z]; k < bounds[z+1]; k++ {
+				zw += int64(b.Work[order[k]])
+			}
+			share := float64(zw) / float64(total)
+			if share < 0.08 || share > 0.18 { // ideal 0.125
+				t.Errorf("zone %d has %.3f of the work, want ~0.125", z, share)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package barneshut implements the paper's Barnes-Hut N-body benchmark
+// (the SPLASH-2 "Barnes" application): each timestep builds an octree
+// over the bodies, computes forces by traversing the tree with an
+// opening-angle criterion, and integrates positions and velocities.
+//
+// Two parallel versions mirror the paper. The coarse-grained original
+// creates one thread per processor with barriers between phases and a
+// costzones-style partition (equal estimated work over bodies in tree
+// order). The fine-grained rewrite forks a thread per unit of work in
+// every phase — tree insertion chunks (synchronizing on per-cell
+// mutexes), force-calculation subtrees (recursion stops when a subtree
+// has about eight leaves), and update chunks — and needs no partitioning
+// scheme at all.
+package barneshut
+
+import (
+	"math"
+	"math/rand"
+
+	"spthreads/pthread"
+)
+
+// Vec3 is a 3-component vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Norm2 returns the squared length.
+func (v Vec3) Norm2() float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
+
+// Bodies holds the simulation state in structure-of-arrays form, backed
+// by a simulated allocation.
+type Bodies struct {
+	N     int
+	Mass  []float64
+	Pos   []Vec3
+	Vel   []Vec3
+	Acc   []Vec3
+	Work  []int32 // interactions last step (costzones weight)
+	alloc pthread.Alloc
+}
+
+// NewBodies allocates state for n bodies.
+func NewBodies(t *pthread.T, n int) *Bodies {
+	return &Bodies{
+		N:     n,
+		Mass:  make([]float64, n),
+		Pos:   make([]Vec3, n),
+		Vel:   make([]Vec3, n),
+		Acc:   make([]Vec3, n),
+		Work:  make([]int32, n),
+		alloc: t.Malloc(int64(n) * (8 + 3*24 + 4)),
+	}
+}
+
+// Free releases the simulated allocation.
+func (b *Bodies) Free(t *pthread.T) { t.Free(b.alloc) }
+
+// Touch charges access to bodies [lo, hi).
+func (b *Bodies) Touch(t *pthread.T, lo, hi int) {
+	stride := int64(8 + 3*24 + 4)
+	t.Touch(b.alloc, int64(lo)*stride, int64(hi-lo)*stride)
+}
+
+// Plummer fills the bodies with a deterministic sample from the Plummer
+// model (the distribution the paper uses), in standard N-body units.
+func Plummer(t *pthread.T, b *Bodies, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := b.N
+	var cm Vec3
+	var cv Vec3
+	for i := 0; i < n; i++ {
+		b.Mass[i] = 1.0 / float64(n)
+		// Radius from the inverse cumulative mass distribution, capped
+		// to avoid far outliers.
+		var r float64
+		for {
+			u := rng.Float64()
+			if u < 1e-10 {
+				continue
+			}
+			r = 1 / math.Sqrt(math.Pow(u, -2.0/3.0)-1)
+			if r < 10 {
+				break
+			}
+		}
+		b.Pos[i] = randomDirection(rng).Scale(r)
+		// Velocity magnitude by von Neumann rejection on
+		// g(q) = q^2 (1-q^2)^(7/2).
+		var q float64
+		for {
+			x := rng.Float64()
+			y := rng.Float64() * 0.1
+			if y < x*x*math.Pow(1-x*x, 3.5) {
+				q = x
+				break
+			}
+		}
+		v := q * math.Sqrt2 * math.Pow(1+r*r, -0.25)
+		b.Vel[i] = randomDirection(rng).Scale(v)
+		b.Work[i] = 1
+		cm = cm.Add(b.Pos[i].Scale(b.Mass[i]))
+		cv = cv.Add(b.Vel[i].Scale(b.Mass[i]))
+	}
+	// Move to the center-of-mass frame.
+	for i := 0; i < n; i++ {
+		b.Pos[i] = b.Pos[i].Sub(cm)
+		b.Vel[i] = b.Vel[i].Sub(cv)
+	}
+	// Body generation is untimed initialization (the SPLASH-2 runs do
+	// not time it either).
+	t.Prefault(b.alloc)
+}
+
+func randomDirection(rng *rand.Rand) Vec3 {
+	for {
+		v := Vec3{2*rng.Float64() - 1, 2*rng.Float64() - 1, 2*rng.Float64() - 1}
+		if n2 := v.Norm2(); n2 > 1e-8 && n2 <= 1 {
+			return v.Scale(1 / math.Sqrt(n2))
+		}
+	}
+}
+
+// Bounds returns a cube containing all bodies.
+func (b *Bodies) Bounds() (center Vec3, half float64) {
+	min := b.Pos[0]
+	max := b.Pos[0]
+	for _, p := range b.Pos {
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.Z < min.Z {
+			min.Z = p.Z
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+		if p.Z > max.Z {
+			max.Z = p.Z
+		}
+	}
+	center = min.Add(max).Scale(0.5)
+	half = max.Sub(min).Norm2()
+	half = math.Sqrt(half) / 2
+	if half == 0 {
+		half = 1
+	}
+	// Pad so no body sits exactly on the boundary.
+	return center, half * 1.0001
+}

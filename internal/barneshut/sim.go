@@ -1,0 +1,295 @@
+package barneshut
+
+import (
+	"spthreads/pthread"
+)
+
+// Config parameterizes the simulation programs.
+type Config struct {
+	// N is the body count (default 10000; the paper used 100000).
+	N int
+	// Steps is the number of timesteps (default 2; the paper timed 2
+	// after 2 warm-up steps).
+	Steps int
+	// Theta is the opening angle (default 1.0, the Splash-2 default).
+	Theta float64
+	// Dt is the integration step (default 0.025).
+	Dt float64
+	// Eps is the softening length (default 0.05).
+	Eps float64
+	// Seed drives the Plummer sample.
+	Seed int64
+	// Procs is the coarse-grained version's worker count.
+	Procs int
+	// SubtreeLeaves is the fine force phase's recursion cutoff: stop
+	// forking when a subtree has at most this many leaves (default 8,
+	// as in the paper).
+	SubtreeLeaves int
+	// InsertChunk is the fine build phase's bodies-per-thread (default
+	// 256).
+	InsertChunk int
+	// Check runs physics sanity checks each step.
+	Check bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 10000
+	}
+	if c.Steps == 0 {
+		c.Steps = 2
+	}
+	if c.Theta == 0 {
+		c.Theta = 1.0
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.025
+	}
+	if c.Eps == 0 {
+		c.Eps = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 13
+	}
+	if c.Procs == 0 {
+		c.Procs = 1
+	}
+	if c.SubtreeLeaves == 0 {
+		c.SubtreeLeaves = 8
+	}
+	if c.InsertChunk == 0 {
+		c.InsertChunk = 256
+	}
+	return c
+}
+
+// forceRange computes accelerations for bodies[lo:hi) of the given
+// ordering and charges the interactions.
+func forceRange(t *pthread.T, tr *Tree, order []int32, lo, hi int, cfg Config) {
+	eps2 := cfg.Eps * cfg.Eps
+	var inter int64
+	for k := lo; k < hi; k++ {
+		i := order[k]
+		acc, n := tr.accBody(i, cfg.Theta, eps2)
+		tr.b.Acc[i] = acc
+		tr.b.Work[i] = int32(n)
+		inter += int64(n)
+	}
+	t.Charge(inter * CyclesPerInteraction)
+	tr.b.Touch(t, lo, hi)
+}
+
+// updateRange advances bodies [lo, hi) one leapfrog step.
+func updateRange(t *pthread.T, b *Bodies, lo, hi int, dt float64) {
+	for i := lo; i < hi; i++ {
+		b.Vel[i] = b.Vel[i].Add(b.Acc[i].Scale(dt))
+		b.Pos[i] = b.Pos[i].Add(b.Vel[i].Scale(dt))
+	}
+	t.Charge(int64(hi-lo) * 12)
+	b.Touch(t, lo, hi)
+}
+
+// forceSubtrees recursively forks a thread per subtree until the
+// subtree holds at most cfg.SubtreeLeaves leaves; each thread computes
+// the forces on the bodies in its subtree (the paper's fine-grained
+// force phase, which needs no partitioning scheme).
+func forceSubtrees(t *pthread.T, tr *Tree, n *Node, cfg Config) {
+	if n.leaf || n.LeafCount() <= cfg.SubtreeLeaves {
+		bodies := n.CollectBodies(nil)
+		forceRange(t, tr, bodies, 0, len(bodies), cfg)
+		return
+	}
+	var fns []func(*pthread.T)
+	for _, ch := range n.children {
+		if ch.Mass == 0 {
+			continue
+		}
+		ch := ch
+		fns = append(fns, func(ct *pthread.T) { forceSubtrees(ct, tr, ch, cfg) })
+	}
+	t.Par(fns...)
+}
+
+// Serial returns the sequential baseline program.
+func Serial(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) { SerialRun(t, cfg) }
+}
+
+// SerialRun runs the sequential simulation and returns the final body
+// positions (for cross-version verification).
+func SerialRun(t *pthread.T, cfg Config) []Vec3 {
+	cfg = cfg.withDefaults()
+	b := NewBodies(t, cfg.N)
+	Plummer(t, b, cfg.Seed)
+	order := identity(cfg.N)
+	for s := 0; s < cfg.Steps; s++ {
+		tr := NewTree(t, b)
+		tr.BuildSerial(t)
+		tr.ComputeCOM(t, false)
+		forceRange(t, tr, order, 0, cfg.N, cfg)
+		updateRange(t, b, 0, cfg.N, cfg.Dt)
+		sanity(cfg, b)
+		tr.Free(t)
+	}
+	snap := append([]Vec3(nil), b.Pos...)
+	b.Free(t)
+	return snap
+}
+
+// Fine returns the paper's rewritten version: every phase forks a large
+// number of threads and the scheduler balances the load.
+func Fine(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) { FineRun(t, cfg) }
+}
+
+// FineRun runs the fine-grained simulation and returns the final body
+// positions.
+func FineRun(t *pthread.T, cfg Config) []Vec3 {
+	cfg = cfg.withDefaults()
+	{
+		b := NewBodies(t, cfg.N)
+		Plummer(t, b, cfg.Seed)
+		for s := 0; s < cfg.Steps; s++ {
+			tr := NewTree(t, b)
+			tr.BuildParallel(t, cfg.InsertChunk)
+			tr.ComputeCOM(t, true)
+			forceSubtrees(t, tr, tr.Root, cfg)
+			var fns []func(*pthread.T)
+			for lo := 0; lo < cfg.N; lo += cfg.InsertChunk {
+				hi := lo + cfg.InsertChunk
+				if hi > cfg.N {
+					hi = cfg.N
+				}
+				lo, hi := lo, hi
+				fns = append(fns, func(ct *pthread.T) { updateRange(ct, b, lo, hi, cfg.Dt) })
+			}
+			t.Par(fns...)
+			sanity(cfg, b)
+			tr.Free(t)
+		}
+		snap := append([]Vec3(nil), b.Pos...)
+		b.Free(t)
+		return snap
+	}
+}
+
+// Coarse returns the SPLASH-2 structure: cfg.Procs persistent threads,
+// barriers between phases, and a costzones partition of the force work
+// (contiguous ranges of bodies in tree order, balanced by the previous
+// step's interaction counts).
+func Coarse(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) { CoarseRun(t, cfg) }
+}
+
+// CoarseRun runs the coarse-grained simulation and returns the final
+// body positions.
+func CoarseRun(t *pthread.T, cfg Config) []Vec3 {
+	cfg = cfg.withDefaults()
+	{
+		b := NewBodies(t, cfg.N)
+		Plummer(t, b, cfg.Seed)
+		p := cfg.Procs
+		bar := pthread.NewBarrier(p)
+
+		// Shared per-step state, republished by the serial thread at
+		// each barrier.
+		var tr *Tree
+		var order []int32
+		var zones []int
+
+		fns := make([]func(*pthread.T), p)
+		for i := 0; i < p; i++ {
+			me := i
+			fns[i] = func(ct *pthread.T) {
+				for s := 0; s < cfg.Steps; s++ {
+					// Phase 0 (serial thread): new tree frame.
+					if bar.Wait(ct) {
+						if tr != nil {
+							tr.Free(ct)
+						}
+						tr = NewTree(ct, b)
+					}
+					bar.Wait(ct)
+					// Phase 1: parallel insertion of this thread's
+					// bodies, synchronized by cell mutexes.
+					lo, hi := cfg.N*me/p, cfg.N*(me+1)/p
+					ins := &inserter{tr: tr}
+					for bi := lo; bi < hi; bi++ {
+						ins.insert(ct, int32(bi))
+					}
+					b.Touch(ct, lo, hi)
+					// Phase 2 (serial thread): centers of mass and the
+					// costzones partition.
+					if bar.Wait(ct) {
+						tr.ComputeCOM(ct, false)
+						order = tr.Root.CollectBodies(order[:0])
+						zones = Costzones(b, order, p)
+					}
+					bar.Wait(ct)
+					// Phase 3: forces over this thread's zone.
+					forceRange(ct, tr, order, zones[me], zones[me+1], cfg)
+					bar.Wait(ct)
+					// Phase 4: update this thread's bodies.
+					updateRange(ct, b, lo, hi, cfg.Dt)
+					if bar.Wait(ct) {
+						sanity(cfg, b)
+					}
+				}
+			}
+		}
+		t.Par(fns...)
+		tr.Free(t)
+		snap := append([]Vec3(nil), b.Pos...)
+		b.Free(t)
+		return snap
+	}
+}
+
+// Costzones splits the tree-ordered bodies into p contiguous zones of
+// roughly equal estimated work (previous-step interaction counts),
+// returning p+1 boundaries into order.
+func Costzones(b *Bodies, order []int32, p int) []int {
+	var total int64
+	for _, i := range order {
+		total += int64(b.Work[i])
+	}
+	bounds := make([]int, p+1)
+	var acc int64
+	zone := 1
+	for k, i := range order {
+		acc += int64(b.Work[i])
+		for zone < p && acc >= total*int64(zone)/int64(p) {
+			bounds[zone] = k + 1
+			zone++
+		}
+	}
+	for ; zone < p; zone++ {
+		bounds[zone] = len(order)
+	}
+	bounds[p] = len(order)
+	return bounds
+}
+
+func identity(n int) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return order
+}
+
+// sanity panics if the integration produced non-finite state.
+func sanity(cfg Config, b *Bodies) {
+	if !cfg.Check {
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		p := b.Pos[i]
+		if p.X != p.X || p.Y != p.Y || p.Z != p.Z {
+			panic("barneshut: NaN position")
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package barneshut
+
+import (
+	"math"
+	"sort"
+
+	"spthreads/pthread"
+)
+
+// LeafCap is the bucket size of octree leaves.
+const LeafCap = 8
+
+// CyclesPerInteraction is the virtual cost of one body-cell or
+// body-body interaction.
+const CyclesPerInteraction = 28
+
+// CyclesPerInsertLevel is the virtual cost per tree level descended
+// during insertion.
+const CyclesPerInsertLevel = 12
+
+// Node is one octree cell. Internal cells have children; leaves hold up
+// to LeafCap body indices.
+type Node struct {
+	Center Vec3
+	Half   float64
+
+	mu       pthread.Mutex
+	leaf     bool
+	bodies   []int32
+	children [8]*Node
+
+	// Computed in the center-of-mass phase.
+	Mass float64
+	COM  Vec3
+}
+
+// Tree is an octree over a set of bodies, with an arena-style node
+// allocator (nodes are carved from simulated chunks, the way real
+// N-body codes avoid per-node malloc).
+type Tree struct {
+	Root    *Node
+	b       *Bodies
+	arenaMu pthread.Mutex // guards arenas across concurrent inserters
+	arenas  []pthread.Alloc
+}
+
+// arenaNodes is how many nodes are carved per simulated arena chunk.
+const arenaNodes = 256
+
+// nodeBytes approximates the simulated size of a node.
+const nodeBytes = 160
+
+// NewTree creates an empty tree covering the bodies' bounding cube.
+func NewTree(t *pthread.T, b *Bodies) *Tree {
+	center, half := b.Bounds()
+	tr := &Tree{b: b}
+	tr.Root = &Node{Center: center, Half: half, leaf: true}
+	tr.arenas = append(tr.arenas, t.Malloc(arenaNodes*nodeBytes))
+	return tr
+}
+
+// Free releases the tree's simulated arenas.
+func (tr *Tree) Free(t *pthread.T) {
+	for _, a := range tr.arenas {
+		t.Free(a)
+	}
+	tr.arenas = nil
+}
+
+// inserter carves nodes from per-thread arena chunks so concurrent
+// inserters do not fight over one allocator.
+type inserter struct {
+	tr   *Tree
+	free int // nodes left in the current local chunk
+}
+
+func (ins *inserter) newNode(t *pthread.T, center Vec3, half float64) *Node {
+	if ins.free == 0 {
+		ins.tr.arenaMu.Lock(t)
+		ins.tr.arenas = append(ins.tr.arenas, t.Malloc(arenaNodes*nodeBytes))
+		ins.tr.arenaMu.Unlock(t)
+		ins.free = arenaNodes
+	}
+	ins.free--
+	return &Node{Center: center, Half: half, leaf: true}
+}
+
+// octant returns the child index of position p relative to center c.
+func octant(c Vec3, p Vec3) int {
+	i := 0
+	if p.X >= c.X {
+		i |= 1
+	}
+	if p.Y >= c.Y {
+		i |= 2
+	}
+	if p.Z >= c.Z {
+		i |= 4
+	}
+	return i
+}
+
+func childCenter(c Vec3, half float64, oct int) Vec3 {
+	h := half / 2
+	d := Vec3{-h, -h, -h}
+	if oct&1 != 0 {
+		d.X = h
+	}
+	if oct&2 != 0 {
+		d.Y = h
+	}
+	if oct&4 != 0 {
+		d.Z = h
+	}
+	return c.Add(d)
+}
+
+// insert adds body i to the tree. As in the SPLASH-2 Barnes code, the
+// descent takes no locks; only the cell actually being modified (a leaf
+// receiving a body or being split) is locked, and the leaf check is
+// repeated after acquisition in case a concurrent inserter split it
+// while this thread was blocked.
+func (ins *inserter) insert(t *pthread.T, i int32) {
+	pos := ins.tr.b.Pos[i]
+	n := ins.tr.Root
+	levels := int64(1)
+	for {
+		if !n.leaf {
+			n = n.children[octant(n.Center, pos)]
+			levels++
+			continue
+		}
+		n.mu.Lock(t)
+		if !n.leaf {
+			// A concurrent split beat us; resume the descent.
+			n.mu.Unlock(t)
+			continue
+		}
+		if len(n.bodies) < LeafCap || n.Half < 1e-9 {
+			n.bodies = append(n.bodies, i)
+			n.mu.Unlock(t)
+			break
+		}
+		// Split: push resident bodies one level down, then retry.
+		for oct := range n.children {
+			n.children[oct] = ins.newNode(t, childCenter(n.Center, n.Half, oct), n.Half/2)
+		}
+		for _, bi := range n.bodies {
+			oct := octant(n.Center, ins.tr.b.Pos[bi])
+			ch := n.children[oct]
+			ch.bodies = append(ch.bodies, bi)
+		}
+		n.bodies = nil
+		n.leaf = false
+		n.mu.Unlock(t)
+	}
+	t.Charge(levels * CyclesPerInsertLevel)
+}
+
+// BuildSerial inserts all bodies from a single thread.
+func (tr *Tree) BuildSerial(t *pthread.T) {
+	ins := &inserter{tr: tr}
+	for i := int32(0); i < int32(tr.b.N); i++ {
+		ins.insert(t, i)
+	}
+	tr.b.Touch(t, 0, tr.b.N)
+}
+
+// BuildParallel inserts bodies with one forked thread per chunk,
+// synchronizing through the per-cell mutexes.
+func (tr *Tree) BuildParallel(t *pthread.T, chunk int) {
+	if chunk <= 0 {
+		chunk = 256
+	}
+	var fns []func(*pthread.T)
+	for lo := 0; lo < tr.b.N; lo += chunk {
+		hi := lo + chunk
+		if hi > tr.b.N {
+			hi = tr.b.N
+		}
+		lo, hi := lo, hi
+		fns = append(fns, func(ct *pthread.T) {
+			ins := &inserter{tr: tr}
+			for i := lo; i < hi; i++ {
+				ins.insert(ct, int32(i))
+			}
+			tr.b.Touch(ct, lo, hi)
+		})
+	}
+	t.Par(fns...)
+}
+
+// ComputeCOM fills masses and centers of mass bottom-up. Leaf body
+// lists are sorted by index first so results are bit-identical no
+// matter which schedule built the tree. Subtrees are forked as threads
+// down to a depth limit when parallel is true.
+func (tr *Tree) ComputeCOM(t *pthread.T, parallel bool) {
+	tr.com(t, tr.Root, 0, parallel)
+}
+
+func (tr *Tree) com(t *pthread.T, n *Node, depth int, parallel bool) {
+	if n.leaf {
+		sort.Slice(n.bodies, func(a, b int) bool { return n.bodies[a] < n.bodies[b] })
+		var m float64
+		var c Vec3
+		for _, bi := range n.bodies {
+			m += tr.b.Mass[bi]
+			c = c.Add(tr.b.Pos[bi].Scale(tr.b.Mass[bi]))
+		}
+		n.Mass = m
+		if m > 0 {
+			n.COM = c.Scale(1 / m)
+		} else {
+			n.COM = n.Center
+		}
+		t.Charge(int64(len(n.bodies)+1) * 8)
+		return
+	}
+	if parallel && depth < 2 {
+		var fns []func(*pthread.T)
+		for _, ch := range n.children {
+			ch := ch
+			fns = append(fns, func(ct *pthread.T) { tr.com(ct, ch, depth+1, true) })
+		}
+		t.Par(fns...)
+	} else {
+		for _, ch := range n.children {
+			tr.com(t, ch, depth+1, false)
+		}
+	}
+	var m float64
+	var c Vec3
+	for _, ch := range n.children {
+		m += ch.Mass
+		c = c.Add(ch.COM.Scale(ch.Mass))
+	}
+	n.Mass = m
+	if m > 0 {
+		n.COM = c.Scale(1 / m)
+	} else {
+		n.COM = n.Center
+	}
+	t.Charge(64)
+}
+
+// accBody computes the acceleration on body i by traversing the tree
+// with the opening criterion s/d < theta, returning the interaction
+// count.
+func (tr *Tree) accBody(i int32, theta, eps2 float64) (Vec3, int) {
+	pos := tr.b.Pos[i]
+	var acc Vec3
+	inter := 0
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.Mass == 0 {
+			return
+		}
+		d := n.COM.Sub(pos)
+		r2 := d.Norm2() + eps2
+		if n.leaf {
+			for _, bi := range n.bodies {
+				if bi == i {
+					continue
+				}
+				db := tr.b.Pos[bi].Sub(pos)
+				rb2 := db.Norm2() + eps2
+				inv := 1 / (rb2 * math.Sqrt(rb2))
+				acc = acc.Add(db.Scale(tr.b.Mass[bi] * inv))
+				inter++
+			}
+			return
+		}
+		s := 2 * n.Half
+		if s*s < theta*theta*r2 {
+			inv := 1 / (r2 * math.Sqrt(r2))
+			acc = acc.Add(d.Scale(n.Mass * inv))
+			inter++
+			return
+		}
+		for _, ch := range n.children {
+			rec(ch)
+		}
+	}
+	rec(tr.Root)
+	return acc, inter
+}
+
+// AccBody exposes the tree-walk acceleration of one body for tests and
+// examples.
+func AccBody(tr *Tree, i int32, theta, eps2 float64) Vec3 {
+	a, _ := tr.accBody(i, theta, eps2)
+	return a
+}
+
+// LeafCount returns the number of leaves under n.
+func (n *Node) LeafCount() int {
+	if n.leaf {
+		return 1
+	}
+	c := 0
+	for _, ch := range n.children {
+		c += ch.LeafCount()
+	}
+	return c
+}
+
+// CollectBodies appends the body indices under n in traversal order
+// (the spatial order costzones partitions over).
+func (n *Node) CollectBodies(out []int32) []int32 {
+	if n.leaf {
+		return append(out, n.bodies...)
+	}
+	for _, ch := range n.children {
+		out = ch.CollectBodies(out)
+	}
+	return out
+}
+
+// Children exposes a node's children for diagnostics.
+func (n *Node) Children() []*Node {
+	if n.leaf {
+		return nil
+	}
+	return n.children[:]
+}

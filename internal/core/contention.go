@@ -1,0 +1,47 @@
+package core
+
+import "spthreads/internal/vtime"
+
+// contention models serialization on one lock-protected resource
+// (scheduler queue, heap allocator) without a hard availability ratchet:
+// operations landing in the same virtual-time window queue up behind
+// each other, so contention scales with the temporal density of
+// operations rather than with the bounded clock divergence between
+// processors.
+type contention struct {
+	opCost vtime.Duration
+	window vtime.Duration
+	ops    map[int64]int
+}
+
+func newContention(opCost, window vtime.Duration) *contention {
+	return &contention{opCost: opCost, window: window, ops: make(map[int64]int)}
+}
+
+// wait returns the queueing delay for an operation at virtual time now
+// and records the operation.
+func (c *contention) wait(now vtime.Time) vtime.Duration {
+	w := int64(now) / int64(c.window)
+	n := c.ops[w]
+	c.ops[w] = n + 1
+	if n == 0 {
+		return 0
+	}
+	d := vtime.Duration(n) * c.opCost
+	if d > c.window {
+		d = c.window
+	}
+	return d
+}
+
+// prune drops windows strictly older than the horizon time.
+func (c *contention) prune(horizon vtime.Time) {
+	cutoff := int64(horizon)/int64(c.window) - 1
+	for w := range c.ops {
+		if w < cutoff {
+			delete(c.ops, w)
+		}
+	}
+}
+
+func (c *contention) size() int { return len(c.ops) }

@@ -1,0 +1,609 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+
+	"spthreads/internal/memsim"
+	"spthreads/internal/trace"
+	"spthreads/internal/vtime"
+)
+
+// Config describes the simulated machine for one run.
+type Config struct {
+	// Procs is the number of virtual processors (default 1).
+	Procs int
+	// Policy is the scheduling policy (required).
+	Policy Policy
+	// CostModel overrides the default calibrated cost model.
+	CostModel *vtime.CostModel
+	// DefaultStack is the default thread stack size in bytes (the
+	// Solaris library default is 1 MB; the paper's modification reduces
+	// it to one 8 KB page). Default: 1 MB.
+	DefaultStack int64
+	// PhysMem is the simulated physical memory in bytes (default 2 GB).
+	PhysMem int64
+	// TLBEntries sizes the per-processor TLB model (default 64).
+	TLBEntries int
+	// MaxSteps aborts runaway simulations (default 1<<40 dispatch steps).
+	MaxSteps int64
+	// Quantum bounds how much virtual time a thread may accumulate
+	// between handoffs to the coordinator (default 250 virtual
+	// microseconds). Smaller quanta interleave processors more finely
+	// at a real-time cost; the quantum does not reschedule the thread.
+	Quantum vtime.Duration
+	// Tracer, when non-nil, records scheduler events (create, dispatch,
+	// preempt, block, wake, exit) without affecting virtual time.
+	Tracer *trace.Recorder
+	// DAG, when non-nil, records the computation graph (forks, joins,
+	// allocations, charges) for offline analysis; dag.Builder implements
+	// this interface.
+	DAG DAGSink
+}
+
+// DAGSink receives computation-graph events. All calls arrive
+// serialized. It is satisfied by dag.Builder.
+type DAGSink interface {
+	Fork(parent, child int64)
+	Join(joiner, target int64)
+	Alloc(thread, bytes int64)
+	Free(thread, bytes int64)
+	Work(thread int64, d vtime.Duration)
+	Exit(thread int64)
+}
+
+// DefaultStackSize is the Solaris library's default thread stack size.
+const DefaultStackSize int64 = 1 << 20
+
+// SmallStackSize is one page, the paper's reduced default.
+const SmallStackSize int64 = 8 << 10
+
+// Machine is one simulated multiprocessor run. It is not reusable: build
+// one per Run.
+type Machine struct {
+	cfg    Config
+	cm     *vtime.CostModel
+	mem    *memsim.System
+	policy Policy
+	procs  []*Proc
+
+	// Contention models for the global scheduler lock, the heap
+	// allocator lock, and kernel memory calls (Section 3.1: threads
+	// "contend for allocation of stack and heap space, as well as for
+	// scheduler locks", with memory-related system calls dominating the
+	// Figure 6 profile).
+	schedLock  *contention
+	heapLock   *contention
+	kernelLock *contention
+
+	readyAt timeHeap // one entry per ready thread: when it became ready
+
+	// sleepers holds threads parked by Sleep until a virtual deadline.
+	sleepers []sleeper
+
+	nextID   int64
+	live     int
+	peakLive int
+	created  int64
+	dummies  int64
+	maxSpan  vtime.Duration
+	steps    int64
+
+	liveThreads map[int64]*Thread
+
+	err      error
+	panicked bool
+}
+
+// Proc is one virtual processor.
+type Proc struct {
+	id    int
+	clock vtime.Time
+	cur   *Thread
+	tlb   *memsim.TLB
+	stats ProcStats
+}
+
+// ProcStats is the per-processor virtual-time breakdown. Idle is filled
+// in when the run's Stats are assembled.
+type ProcStats struct {
+	Work       vtime.Duration // user computation (Charge)
+	ThreadOps  vtime.Duration // create/join/sync primitives
+	Mem        vtime.Duration // allocation, first-touch, TLB, paging
+	Sched      vtime.Duration // queue operations and context switches
+	LockWait   vtime.Duration // contention on the scheduler lock
+	Idle       vtime.Duration
+	Dispatches int64
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("core: Config.Policy is required")
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 1
+	}
+	if cfg.CostModel == nil {
+		cfg.CostModel = vtime.Default()
+	}
+	if cfg.DefaultStack <= 0 {
+		cfg.DefaultStack = DefaultStackSize
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1 << 40
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = vtime.Micro(250)
+	}
+	m := &Machine{
+		cfg:         cfg,
+		cm:          cfg.CostModel,
+		policy:      cfg.Policy,
+		mem:         memsim.New(cfg.CostModel, cfg.DefaultStack, cfg.PhysMem),
+		liveThreads: make(map[int64]*Thread),
+	}
+	m.schedLock = newContention(m.cm.SchedLockOp, lockWindow)
+	m.heapLock = newContention(m.cm.MallocBase, lockWindow)
+	// Kernel address-space operations (mmap/sbrk for stacks and heap
+	// growth) serialize on the process's address-space lock; their hold
+	// times are in the hundreds of microseconds (Figure 3's 200-260 us
+	// stack-allocation overhead), so they contend over a wider window.
+	m.kernelLock = newContention(vtime.Micro(150), vtime.Micro(1000))
+	m.procs = make([]*Proc, cfg.Procs)
+	for i := range m.procs {
+		m.procs[i] = &Proc{id: i, tlb: memsim.NewTLB(cfg.TLBEntries)}
+	}
+	return m, nil
+}
+
+// Run executes main as the root thread and drives the simulation to
+// completion (every thread exited) or failure (deadlock, panic in thread
+// code, or step-limit exceeded).
+func Run(cfg Config, main func(*Thread)) (Stats, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return m.run(main)
+}
+
+// Execute runs main as the root thread of a freshly built machine. A
+// machine is single-use: Execute must be called at most once.
+func (m *Machine) Execute(main func(*Thread)) (Stats, error) {
+	if m.nextID != 0 {
+		return Stats{}, errors.New("core: machine already executed")
+	}
+	return m.run(main)
+}
+
+func (m *Machine) run(main func(*Thread)) (Stats, error) {
+	root := m.newThread(Attr{Name: "root"}, main)
+	// The root's stack predates the run; count its footprint silently.
+	root.stackAddr, _, _ = m.mem.AllocStack(root.stackSize)
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.Record(0, -1, root.ID, trace.KindCreate)
+	}
+	m.admit(root)
+	m.policy.OnCreate(nil, root)
+	root.state = StateReady
+	m.readyAt.push(0)
+
+	for m.live > 0 && m.err == nil {
+		m.steps++
+		if m.steps > m.cfg.MaxSteps {
+			m.err = fmt.Errorf("core: exceeded %d scheduling steps", m.cfg.MaxSteps)
+			break
+		}
+		m.wakeDueSleepers()
+		p := m.pickProc()
+		if p == nil {
+			if m.wakeEarliestSleeper() {
+				continue
+			}
+			m.err = m.deadlockError()
+			break
+		}
+		if p.cur == nil {
+			m.dispatch(p)
+			continue
+		}
+		m.step(p)
+	}
+	if m.err != nil {
+		m.shutdown()
+	}
+	return m.stats(), m.err
+}
+
+// sleeper is a thread parked until a virtual deadline. tok, when
+// non-nil, arbitrates a timed condition wait: if a signal consumed it
+// first, the sleeper entry is a no-op.
+type sleeper struct {
+	at  vtime.Time
+	t   *Thread
+	tok *wakeToken
+}
+
+// wakeDueSleepers readies every sleeper whose deadline is at or before
+// the earliest processor clock (they could legally run now).
+func (m *Machine) wakeDueSleepers() {
+	if len(m.sleepers) == 0 {
+		return
+	}
+	min := m.minClock()
+	kept := m.sleepers[:0]
+	for _, s := range m.sleepers {
+		if s.at <= min {
+			m.wakeSleeper(s)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	m.sleepers = kept
+}
+
+// wakeEarliestSleeper readies the sleeper with the nearest deadline when
+// nothing else can run (the machine is otherwise idle), reporting
+// whether one existed.
+func (m *Machine) wakeEarliestSleeper() bool {
+	if len(m.sleepers) == 0 {
+		return false
+	}
+	best := 0
+	for i, s := range m.sleepers {
+		if s.at < m.sleepers[best].at {
+			best = i
+		}
+	}
+	s := m.sleepers[best]
+	m.sleepers = append(m.sleepers[:best], m.sleepers[best+1:]...)
+	m.wakeSleeper(s)
+	return true
+}
+
+// wakeSleeper re-enters a slept thread at its deadline timestamp.
+func (m *Machine) wakeSleeper(s sleeper) {
+	if s.tok != nil {
+		if s.tok.consumed {
+			return // a signal won the race
+		}
+		s.tok.consumed = true
+		s.tok.timedOut = true
+	}
+	s.t.state = StateReady
+	m.policy.OnReady(s.t, -1)
+	m.readyAt.push(s.at)
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.Record(s.at, -1, s.t.ID, trace.KindWake)
+	}
+}
+
+// pickProc selects the runnable processor with the smallest virtual
+// clock (ties broken by id), or nil if no processor can make progress.
+func (m *Machine) pickProc() *Proc {
+	var best *Proc
+	var bestKey vtime.Time
+	for _, p := range m.procs {
+		var key vtime.Time
+		switch {
+		case p.cur != nil:
+			key = p.clock
+		case m.readyAt.len() > 0:
+			key = p.clock
+			if at := m.readyAt.min(); at > key {
+				key = at
+			}
+		default:
+			continue
+		}
+		if best == nil || key < bestKey {
+			best, bestKey = p, key
+		}
+	}
+	return best
+}
+
+// dispatch assigns the next ready thread to an idle processor.
+func (m *Machine) dispatch(p *Proc) {
+	if at := m.readyAt.min(); at > p.clock {
+		p.clock = at // the gap is idle time, derived in stats()
+	}
+	m.queueOp(p)
+	t := m.policy.Next(p.id)
+	if t == nil {
+		panic(fmt.Sprintf("core: policy %s found no thread with %d ready", m.policy.Name(), m.readyAt.len()))
+	}
+	m.readyAt.pop()
+	m.assign(p, t)
+}
+
+// assign puts thread t on processor p and charges the context switch.
+func (m *Machine) assign(p *Proc, t *Thread) {
+	t.state = StateRunning
+	t.proc = p
+	p.cur = t
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.Record(p.clock, p.id, t.ID, trace.KindDispatch)
+	}
+	p.stats.Sched += m.cm.ContextSwitch
+	p.clock += vtime.Time(m.cm.ContextSwitch)
+	p.stats.Dispatches++
+	t.quotaLeft = m.policy.Quota()
+	t.sinceDispatch = 0
+	if !t.started {
+		// The thread's first frames fault in the base of its stack.
+		cost := m.mem.Touch(p.tlb, t.stackAddr, memsim.PageSize)
+		p.stats.Mem += cost
+		p.clock += vtime.Time(cost)
+		t.start()
+	}
+}
+
+// step resumes the current thread of p until its next handoff and
+// handles the resulting action.
+func (m *Machine) step(p *Proc) {
+	t := p.cur
+	t.resume <- struct{}{}
+	<-t.yield
+
+	switch t.action.kind {
+	case actPause:
+		// Quantum expiry: the thread keeps its processor; the
+		// coordinator just regains the ability to advance other
+		// processors whose clocks are now behind.
+	case actExit:
+		m.handleExit(p, t)
+	case actBlock:
+		if tr := m.cfg.Tracer; tr != nil {
+			tr.Record(p.clock, p.id, t.ID, trace.KindBlock)
+		}
+		m.policy.OnBlock(t)
+		t.state = StateBlocked
+		t.proc = nil
+		p.cur = nil
+	case actPreempt, actYield:
+		if tr := m.cfg.Tracer; tr != nil {
+			tr.Record(p.clock, p.id, t.ID, trace.KindPreempt)
+		}
+		next := t.action.next
+		t.proc = nil
+		p.cur = nil
+		m.queueOp(p)
+		m.becomeReady(t, p.id)
+		if next != nil {
+			// The paper's fork semantics: the processor immediately
+			// executes the newly created child.
+			m.assign(p, next)
+		}
+	default:
+		panic("core: thread yielded without an action")
+	}
+}
+
+func (m *Machine) handleExit(p *Proc, t *Thread) {
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.Record(p.clock, p.id, t.ID, trace.KindExit)
+	}
+	if g := m.cfg.DAG; g != nil {
+		g.Exit(t.ID)
+	}
+	t.state = StateExited
+	t.done = true
+	t.exitedSpan = t.span
+	if t.exitedSpan > m.maxSpan {
+		m.maxSpan = t.exitedSpan
+	}
+	m.policy.OnExit(t)
+	m.queueOp(p)
+	cost := m.mem.FreeStack(t.stackAddr, t.stackSize)
+	p.stats.Mem += cost
+	p.clock += vtime.Time(cost)
+	delete(m.liveThreads, t.ID)
+	m.live--
+	t.proc = nil
+	p.cur = nil
+	if t.joiner != nil {
+		j := t.joiner
+		t.joiner = nil
+		m.becomeReady(j, p.id)
+	}
+}
+
+// becomeReady re-enters t into the policy's ready structure at the
+// current virtual time of processor pid.
+func (m *Machine) becomeReady(t *Thread, pid int) {
+	if tr := m.cfg.Tracer; tr != nil && t.state == StateBlocked {
+		at := vtime.Time(0)
+		if pid >= 0 {
+			at = m.procs[pid].clock
+		}
+		tr.Record(at, pid, t.ID, trace.KindWake)
+	}
+	t.state = StateReady
+	m.policy.OnReady(t, pid)
+	at := vtime.Time(0)
+	if pid >= 0 {
+		at = m.procs[pid].clock
+	}
+	m.readyAt.push(at)
+}
+
+// lockWindow is the virtual-time window within which operations on a
+// contended lock are considered to overlap.
+const lockWindow = vtime.Duration(100 * vtime.CyclesPerMicrosecond)
+
+// queueOp charges one ready-queue operation to p at its current clock.
+// For global-queue policies it additionally models contention on the
+// single scheduler lock (the serialization the paper identifies as the
+// scalability limit of its scheduler).
+func (m *Machine) queueOp(p *Proc) {
+	p.stats.Sched += m.cm.SchedLockOp
+	p.clock += vtime.Time(m.cm.SchedLockOp)
+	if !m.policy.Global() {
+		return
+	}
+	if wait := m.schedLock.wait(p.clock); wait > 0 {
+		p.stats.LockWait += wait
+		p.clock += vtime.Time(wait)
+	}
+	if m.schedLock.size() > 1<<14 {
+		m.schedLock.prune(m.minClock())
+	}
+}
+
+// heapOp charges allocator-lock contention for a heap operation on
+// thread t's processor.
+func (m *Machine) heapOp(t *Thread) {
+	p := t.proc
+	if wait := m.heapLock.wait(p.clock); wait > 0 {
+		m.chargeMem(t, wait)
+	}
+	if m.heapLock.size() > 1<<14 {
+		m.heapLock.prune(m.minClock())
+	}
+}
+
+// kernelOp charges address-space-lock contention for a kernel memory
+// call (fresh stack or heap growth) on thread t's processor.
+func (m *Machine) kernelOp(t *Thread) {
+	p := t.proc
+	if wait := m.kernelLock.wait(p.clock); wait > 0 {
+		m.chargeMem(t, wait)
+	}
+	if m.kernelLock.size() > 1<<14 {
+		m.kernelLock.prune(m.minClock())
+	}
+}
+
+// minClock is the smallest processor clock; contention windows older
+// than this cannot receive further operations.
+func (m *Machine) minClock() vtime.Time {
+	min := m.procs[0].clock
+	for _, p := range m.procs[1:] {
+		if p.clock < min {
+			min = p.clock
+		}
+	}
+	return min
+}
+
+func (m *Machine) newThread(attr Attr, fn func(*Thread)) *Thread {
+	m.nextID++
+	if attr.StackSize <= 0 {
+		attr.StackSize = m.cfg.DefaultStack
+	}
+	if attr.Priority < 0 || attr.Priority >= NumPriorities {
+		attr.Priority = 0
+	}
+	return &Thread{
+		ID:        m.nextID,
+		Priority:  attr.Priority,
+		m:         m,
+		fn:        fn,
+		attr:      attr,
+		resume:    make(chan struct{}),
+		yield:     make(chan struct{}),
+		exitCh:    make(chan struct{}, 1),
+		detached:  attr.Detached,
+		stackSize: attr.StackSize,
+	}
+}
+
+// admit registers a new live thread.
+func (m *Machine) admit(t *Thread) {
+	m.created++
+	m.live++
+	if m.live > m.peakLive {
+		m.peakLive = m.live
+	}
+	m.liveThreads[t.ID] = t
+}
+
+func (m *Machine) recordPanic(t *Thread, r any) {
+	if m.err == nil {
+		m.err = fmt.Errorf("core: panic in %s: %v\n%s", t.Name(), r, debug.Stack())
+	}
+	m.panicked = true
+}
+
+// deadlockError describes an all-blocked state.
+func (m *Machine) deadlockError() error {
+	var names []string
+	for _, t := range m.liveThreads {
+		names = append(names, fmt.Sprintf("%s(%s)", t.Name(), t.state))
+	}
+	sort.Strings(names)
+	return fmt.Errorf("core: deadlock: %d live threads, none runnable: %s",
+		len(names), strings.Join(names, ", "))
+}
+
+// shutdown unwinds every parked thread goroutine after an aborted run so
+// no goroutines leak across runs.
+func (m *Machine) shutdown() {
+	for _, t := range m.liveThreads {
+		if !t.started || t.state == StateExited {
+			continue
+		}
+		t.poison = true
+		t.resume <- struct{}{}
+		<-t.exitCh
+	}
+	m.liveThreads = make(map[int64]*Thread)
+}
+
+// makespan is the maximum virtual clock across processors.
+func (m *Machine) makespan() vtime.Time {
+	var max vtime.Time
+	for _, p := range m.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// charge helpers: every clock advance lands in exactly one stats bucket,
+// so idle time can be derived as makespan minus the bucket sum.
+
+func (m *Machine) chargeWork(t *Thread, d vtime.Duration) {
+	if g := m.cfg.DAG; g != nil {
+		g.Work(t.ID, d)
+	}
+	p := t.proc
+	p.stats.Work += d
+	p.clock += vtime.Time(d)
+	t.work += d
+	t.span += d
+	t.sinceYield += d
+	t.sinceDispatch += d
+}
+
+func (m *Machine) chargeOps(t *Thread, d vtime.Duration) {
+	if g := m.cfg.DAG; g != nil {
+		g.Work(t.ID, d)
+	}
+	p := t.proc
+	p.stats.ThreadOps += d
+	p.clock += vtime.Time(d)
+	t.work += d
+	t.span += d
+	t.sinceYield += d
+	t.sinceDispatch += d
+}
+
+func (m *Machine) chargeMem(t *Thread, d vtime.Duration) {
+	if g := m.cfg.DAG; g != nil {
+		g.Work(t.ID, d)
+	}
+	p := t.proc
+	p.stats.Mem += d
+	p.clock += vtime.Time(d)
+	t.work += d
+	t.span += d
+	t.sinceYield += d
+	t.sinceDispatch += d
+}

@@ -1,0 +1,69 @@
+// Package core implements the user-level threads runtime on top of a
+// deterministic, discrete-event simulated shared-memory multiprocessor.
+//
+// Lightweight threads are parked goroutines; a coordinator resumes
+// exactly one at a time, so the Go scheduler never decides interleaving.
+// Virtual processors carry virtual clocks; the coordinator always
+// advances the processor with the smallest clock (ties broken by
+// processor id), which makes every run deterministic for a fixed
+// configuration.
+//
+// The scheduling policy — the paper's subject — is pluggable through the
+// Policy interface; implementations live in internal/sched.
+package core
+
+import "spthreads/internal/vtime"
+
+// Policy is a ready-thread scheduling policy. All methods are invoked
+// with the machine serialized (either from the coordinator or from the
+// single running thread goroutine), so implementations need no locking;
+// lock *costs* for global-queue policies are modeled by the machine.
+type Policy interface {
+	// Name identifies the policy in reports ("fifo", "lifo", "adf", "ws").
+	Name() string
+
+	// OnCreate places a newly created child thread. parent is nil for
+	// the root thread. If it returns true, the creating processor
+	// preempts the parent (the machine re-enters it via OnReady) and
+	// runs the child immediately, as the paper's space-efficient
+	// scheduler requires; if false, the child was placed in the ready
+	// structure and the parent continues to run.
+	OnCreate(parent, child *Thread) (runChild bool)
+
+	// OnReady makes a blocked or preempted thread runnable again. pid is
+	// the processor performing the transition (used by per-processor
+	// structures); -1 if unknown.
+	OnReady(t *Thread, pid int)
+
+	// OnBlock records that a running thread blocked (entry-keeping
+	// policies mark its placeholder not-ready; others do nothing).
+	OnBlock(t *Thread)
+
+	// OnExit removes an exiting thread from any bookkeeping.
+	OnExit(t *Thread)
+
+	// Next selects the next thread for processor pid to run, removing it
+	// from the ready structure, or returns nil if none is runnable.
+	// Policies must be complete: if any thread is runnable anywhere,
+	// Next must find one.
+	Next(pid int) *Thread
+
+	// Global reports whether the policy keeps a single shared structure
+	// protected by one scheduler lock (the machine then serializes queue
+	// operations in virtual time to model contention).
+	Global() bool
+
+	// Quota returns the memory quota in bytes granted to a thread each
+	// time it is scheduled; 0 disables quota enforcement.
+	Quota() int64
+
+	// AllocDummies returns the number of no-op dummy threads the runtime
+	// must fork before an allocation of m bytes (the ADF throttling
+	// mechanism); 0 for policies without allocation throttling.
+	AllocDummies(m int64) int
+
+	// TimeSlice returns the round-robin quantum after which a running
+	// thread is involuntarily preempted (SCHED_RR semantics); 0 means
+	// run-to-block (SCHED_FIFO and the paper's policies).
+	TimeSlice() vtime.Duration
+}

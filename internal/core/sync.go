@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"spthreads/internal/vtime"
+)
+
+// Blocking synchronization objects. The paper stresses that, unlike
+// prior space-efficient systems restricted to fork/join, its scheduler
+// supports the full Pthreads functionality — blocking mutexes, condition
+// variables and semaphores — because blocked threads keep their
+// placeholder entries and re-enter the ready structure at their serial
+// position when woken.
+//
+// All methods run in thread context (exactly one thread goroutine
+// executes at a time), so the objects need no internal atomicity.
+
+// Mutex is a blocking lock with FIFO handoff to waiters.
+type Mutex struct {
+	owner   *Thread
+	waiters []*Thread
+}
+
+// Lock acquires mu, blocking the calling thread if it is held.
+func (m *Machine) Lock(t *Thread, mu *Mutex) {
+	m.checkRunning(t, "Lock")
+	m.chargeOps(t, m.cm.SyncOp)
+	// Pause before acquiring, never while holding: a quantum pause
+	// inside a critical section would convoy other threads needing mu.
+	t.maybePause()
+	if mu.owner == nil {
+		mu.owner = t
+		return
+	}
+	if mu.owner == t {
+		panic(fmt.Sprintf("core: %s locking a mutex it already holds", t.Name()))
+	}
+	mu.waiters = append(mu.waiters, t)
+	t.switchOut(action{kind: actBlock})
+	// Unlock transferred ownership to us before waking us.
+	if mu.owner != t {
+		panic("core: woken from Lock without ownership")
+	}
+}
+
+// TryLock acquires mu if it is free and reports whether it did.
+func (m *Machine) TryLock(t *Thread, mu *Mutex) bool {
+	m.checkRunning(t, "TryLock")
+	m.chargeOps(t, m.cm.SyncOp)
+	if mu.owner == nil {
+		mu.owner = t
+		return true
+	}
+	return false
+}
+
+// Unlock releases mu, handing it to the longest-waiting blocked thread
+// if any.
+func (m *Machine) Unlock(t *Thread, mu *Mutex) {
+	m.checkRunning(t, "Unlock")
+	if mu.owner != t {
+		panic(fmt.Sprintf("core: %s unlocking a mutex it does not hold", t.Name()))
+	}
+	m.chargeOps(t, m.cm.SyncOp)
+	if len(mu.waiters) == 0 {
+		mu.owner = nil
+		t.maybePause()
+		return
+	}
+	w := mu.waiters[0]
+	copy(mu.waiters, mu.waiters[1:])
+	mu.waiters = mu.waiters[:len(mu.waiters)-1]
+	mu.owner = w
+	m.queueOp(t.proc)
+	m.becomeReady(w, t.proc.id)
+	t.maybePause()
+}
+
+// Cond is a condition variable used with a Mutex.
+type Cond struct {
+	waiters []condWaiter
+}
+
+// condWaiter pairs a blocked thread with an optional wake token used by
+// timed waits to arbitrate between signal and timeout.
+type condWaiter struct {
+	t   *Thread
+	tok *wakeToken
+}
+
+// wakeToken resolves the signal-vs-timeout race of a timed wait: the
+// first party to consume it wins, the other becomes a no-op.
+type wakeToken struct {
+	consumed bool
+	timedOut bool
+}
+
+// Wait atomically releases mu and blocks until signalled, then
+// reacquires mu before returning.
+func (m *Machine) Wait(t *Thread, c *Cond, mu *Mutex) {
+	m.checkRunning(t, "Cond.Wait")
+	if mu.owner != t {
+		panic(fmt.Sprintf("core: %s waiting on a condition without holding the mutex", t.Name()))
+	}
+	c.waiters = append(c.waiters, condWaiter{t: t})
+	m.Unlock(t, mu)
+	t.switchOut(action{kind: actBlock})
+	m.Lock(t, mu)
+}
+
+// WaitTimeout is Wait with a virtual-time deadline
+// (pthread_cond_timedwait). It returns true if the wait timed out
+// before a signal arrived; either way the mutex is held on return.
+func (m *Machine) WaitTimeout(t *Thread, c *Cond, mu *Mutex, d vtime.Duration) (timedOut bool) {
+	m.checkRunning(t, "Cond.WaitTimeout")
+	if mu.owner != t {
+		panic(fmt.Sprintf("core: %s waiting on a condition without holding the mutex", t.Name()))
+	}
+	if d <= 0 {
+		// Immediate timeout: POSIX returns ETIMEDOUT without blocking.
+		return true
+	}
+	tok := &wakeToken{}
+	c.waiters = append(c.waiters, condWaiter{t: t, tok: tok})
+	m.sleepers = append(m.sleepers, sleeper{at: t.proc.clock + vtime.Time(d), t: t, tok: tok})
+	m.Unlock(t, mu)
+	t.switchOut(action{kind: actBlock})
+	m.Lock(t, mu)
+	return tok.timedOut
+}
+
+// Signal wakes one waiter, if any (skipping waiters whose timed waits
+// already fired).
+func (m *Machine) Signal(t *Thread, c *Cond) {
+	m.checkRunning(t, "Cond.Signal")
+	m.chargeOps(t, m.cm.SyncOp)
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
+		if w.tok != nil {
+			if w.tok.consumed {
+				continue // its timeout already woke it
+			}
+			w.tok.consumed = true
+		}
+		m.queueOp(t.proc)
+		m.becomeReady(w.t, t.proc.id)
+		return
+	}
+}
+
+// Broadcast wakes every waiter.
+func (m *Machine) Broadcast(t *Thread, c *Cond) {
+	m.checkRunning(t, "Cond.Broadcast")
+	m.chargeOps(t, m.cm.SyncOp)
+	for _, w := range c.waiters {
+		if w.tok != nil {
+			if w.tok.consumed {
+				continue
+			}
+			w.tok.consumed = true
+		}
+		m.queueOp(t.proc)
+		m.becomeReady(w.t, t.proc.id)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Semaphore is a counting semaphore.
+type Semaphore struct {
+	count   int64
+	waiters []*Thread
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(n int64) *Semaphore {
+	if n < 0 {
+		panic("core: negative semaphore count")
+	}
+	return &Semaphore{count: n}
+}
+
+// SemWait decrements the semaphore, blocking while it is zero.
+func (m *Machine) SemWait(t *Thread, s *Semaphore) {
+	m.checkRunning(t, "SemWait")
+	m.chargeOps(t, m.cm.SyncOp)
+	if s.count > 0 {
+		s.count--
+		t.maybePause()
+		return
+	}
+	s.waiters = append(s.waiters, t)
+	// The blocking path costs one synchronization round trip (Figure 3's
+	// semaphore-synchronization line includes the context switch, which
+	// the dispatcher charges separately).
+	if extra := m.cm.SemaSync - m.cm.ContextSwitch - m.cm.SyncOp; extra > 0 {
+		m.chargeOps(t, extra)
+	}
+	t.switchOut(action{kind: actBlock})
+	// The post transferred its increment directly to us.
+}
+
+// SemPost increments the semaphore, waking the longest waiter if any.
+func (m *Machine) SemPost(t *Thread, s *Semaphore) {
+	m.checkRunning(t, "SemPost")
+	m.chargeOps(t, m.cm.SyncOp)
+	if len(s.waiters) == 0 {
+		s.count++
+		t.maybePause()
+		return
+	}
+	w := s.waiters[0]
+	copy(s.waiters, s.waiters[1:])
+	s.waiters = s.waiters[:len(s.waiters)-1]
+	m.queueOp(t.proc)
+	m.becomeReady(w, t.proc.id)
+}
+
+// SemValue returns the current count (waiters imply zero).
+func (s *Semaphore) SemValue() int64 { return s.count }
+
+// Barrier blocks callers until its full party has arrived.
+type Barrier struct {
+	parties int
+	arrived []*Thread
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("core: barrier party count must be positive")
+	}
+	return &Barrier{parties: n}
+}
+
+// BarrierWait blocks until the n-th thread arrives; that last thread
+// releases the others and reports true (the "serial thread"), mirroring
+// PTHREAD_BARRIER_SERIAL_THREAD.
+func (m *Machine) BarrierWait(t *Thread, b *Barrier) bool {
+	m.checkRunning(t, "BarrierWait")
+	m.chargeOps(t, m.cm.SyncOp)
+	if len(b.arrived)+1 == b.parties {
+		// A barrier joins every party's critical path.
+		maxSpan := t.span
+		for _, w := range b.arrived {
+			if w.span > maxSpan {
+				maxSpan = w.span
+			}
+		}
+		t.span = maxSpan
+		for _, w := range b.arrived {
+			w.span = maxSpan
+			m.queueOp(t.proc)
+			m.becomeReady(w, t.proc.id)
+		}
+		b.arrived = b.arrived[:0]
+		return true
+	}
+	b.arrived = append(b.arrived, t)
+	t.switchOut(action{kind: actBlock})
+	return false
+}
+
+// Once runs a function exactly once across threads.
+type Once struct {
+	done bool
+}
+
+// OnceDo invokes fn the first time OnceDo is called for o.
+func (m *Machine) OnceDo(t *Thread, o *Once, fn func()) {
+	m.checkRunning(t, "OnceDo")
+	m.chargeOps(t, m.cm.SyncOp)
+	if o.done {
+		return
+	}
+	o.done = true
+	fn()
+}

@@ -1,0 +1,245 @@
+// Package dag records the computation graph of a run — the structure
+// the paper's Figure 1 reasons about — and analyzes it offline:
+// total work, critical path (span), and the serial depth-first space
+// requirement S_1 that the space-efficient scheduler's S_1 + O(p·D)
+// bound is stated against.
+//
+// A Builder attached to a machine (core.Config.DAG) observes forks,
+// joins, allocations and charges. The analyses replay the recorded
+// per-thread event sequences:
+//
+//   - Work sums every thread's charges.
+//   - Span replays fork/join edges with the usual max-propagation.
+//   - SerialSpace replays a serial depth-first execution (a forked
+//     child runs to completion before its parent resumes, the execution
+//     order the paper's Section 3 uses as the space baseline) and
+//     reports the allocation high-water mark.
+//
+// The graph can also be exported as DOT for visualization.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spthreads/internal/vtime"
+)
+
+// eventKind classifies one recorded thread event.
+type eventKind uint8
+
+const (
+	evFork eventKind = iota
+	evJoin
+	evAlloc
+	evFree
+)
+
+type event struct {
+	kind  eventKind
+	other int64 // forked child / joined target
+	bytes int64 // alloc/free size
+	// work accumulated on this thread since the previous event.
+	workBefore vtime.Duration
+}
+
+// threadRec is one thread's recorded history.
+type threadRec struct {
+	id      int64
+	events  []event
+	tail    vtime.Duration // work after the last event
+	exited  bool
+	pending vtime.Duration // accumulator for workBefore
+}
+
+// Builder records a run's computation graph. It implements the
+// core.DAGSink interface. All callbacks arrive serialized from the
+// machine, so no locking is needed.
+type Builder struct {
+	threads map[int64]*threadRec
+	order   []int64 // creation order
+}
+
+// NewBuilder returns an empty recorder.
+func NewBuilder() *Builder {
+	return &Builder{threads: make(map[int64]*threadRec)}
+}
+
+func (b *Builder) rec(id int64) *threadRec {
+	r := b.threads[id]
+	if r == nil {
+		r = &threadRec{id: id}
+		b.threads[id] = r
+		b.order = append(b.order, id)
+	}
+	return r
+}
+
+func (b *Builder) addEvent(id int64, e event) {
+	r := b.rec(id)
+	e.workBefore = r.pending
+	r.pending = 0
+	r.events = append(r.events, e)
+}
+
+// Fork records that parent created child.
+func (b *Builder) Fork(parent, child int64) {
+	b.addEvent(parent, event{kind: evFork, other: child})
+	b.rec(child)
+}
+
+// Join records that joiner completed a join with target.
+func (b *Builder) Join(joiner, target int64) {
+	b.addEvent(joiner, event{kind: evJoin, other: target})
+}
+
+// Alloc records a heap allocation by the thread.
+func (b *Builder) Alloc(thread int64, bytes int64) {
+	b.addEvent(thread, event{kind: evAlloc, bytes: bytes})
+}
+
+// Free records a heap release by the thread.
+func (b *Builder) Free(thread int64, bytes int64) {
+	b.addEvent(thread, event{kind: evFree, bytes: bytes})
+}
+
+// Work records computation charged to the thread.
+func (b *Builder) Work(thread int64, d vtime.Duration) {
+	b.rec(thread).pending += d
+}
+
+// Exit records the thread's completion.
+func (b *Builder) Exit(thread int64) {
+	r := b.rec(thread)
+	r.tail = r.pending
+	r.pending = 0
+	r.exited = true
+}
+
+// Threads returns the number of recorded threads.
+func (b *Builder) Threads() int { return len(b.threads) }
+
+// TotalWork returns the summed charges of all threads.
+func (b *Builder) TotalWork() vtime.Duration {
+	var w vtime.Duration
+	for _, r := range b.threads {
+		w += r.tail
+		for _, e := range r.events {
+			w += e.workBefore
+		}
+	}
+	return w
+}
+
+// Span returns the DAG's critical-path length, replaying fork/join
+// edges with max-propagation over each thread's event sequence.
+func (b *Builder) Span() vtime.Duration {
+	memo := make(map[int64]vtime.Duration, len(b.threads))
+	var max vtime.Duration
+	for _, id := range b.order {
+		if s := b.spanOf(id, 0, memo); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// spanOf computes the completion span of thread id given the span at
+// its fork point. Results are memoized per thread relative to start 0;
+// since children start at their parent's fork-point span, computation
+// proceeds parent-first via the recorded order (parents are always
+// created before their children).
+func (b *Builder) spanOf(id int64, start vtime.Duration, memo map[int64]vtime.Duration) vtime.Duration {
+	if s, ok := memo[id]; ok {
+		return start + s
+	}
+	r := b.threads[id]
+	var at vtime.Duration // span progress relative to the thread's start
+	childStart := make(map[int64]vtime.Duration)
+	for _, e := range r.events {
+		at += e.workBefore
+		switch e.kind {
+		case evFork:
+			childStart[e.other] = at
+		case evJoin:
+			cs, ok := childStart[e.other]
+			if !ok {
+				cs = at // joining a thread forked elsewhere: approximate
+			}
+			childEnd := b.spanOf(e.other, cs, memo)
+			if childEnd > at {
+				at = childEnd
+			}
+		}
+	}
+	at += r.tail
+	memo[id] = at
+	return start + at
+}
+
+// SerialSpace replays a serial depth-first execution — at every fork the
+// child runs to completion before the parent continues — and returns the
+// heap high-water mark S_1 in bytes.
+func (b *Builder) SerialSpace(rootID int64) int64 {
+	var live, hwm int64
+	var replay func(id int64)
+	replay = func(id int64) {
+		r := b.threads[id]
+		if r == nil {
+			return
+		}
+		for _, e := range r.events {
+			switch e.kind {
+			case evFork:
+				replay(e.other)
+			case evAlloc:
+				live += roundAlloc(e.bytes)
+				if live > hwm {
+					hwm = live
+				}
+			case evFree:
+				live -= roundAlloc(e.bytes)
+			}
+		}
+	}
+	replay(rootID)
+	return hwm
+}
+
+func roundAlloc(n int64) int64 {
+	if n <= 0 {
+		n = 16
+	}
+	return (n + 15) &^ 15
+}
+
+// DOT renders the fork edges as a Graphviz digraph, with each node
+// labeled by its thread id and work.
+func (b *Builder) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph computation {\n  rankdir=TB;\n  node [shape=box];\n")
+	ids := append([]int64(nil), b.order...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := b.threads[id]
+		var w vtime.Duration
+		w += r.tail
+		for _, e := range r.events {
+			w += e.workBefore
+		}
+		fmt.Fprintf(&sb, "  t%d [label=\"t%d\\n%s\"];\n", id, id, w)
+	}
+	for _, id := range ids {
+		for _, e := range b.threads[id].events {
+			switch e.kind {
+			case evFork:
+				fmt.Fprintf(&sb, "  t%d -> t%d;\n", id, e.other)
+			case evJoin:
+				fmt.Fprintf(&sb, "  t%d -> t%d [style=dashed];\n", e.other, id)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,141 @@
+package dag_test
+
+import (
+	"strings"
+	"testing"
+
+	"spthreads/internal/dag"
+	"spthreads/internal/matmul"
+	"spthreads/pthread"
+)
+
+// TestHandBuiltGraph checks work/span/space on a graph built by hand:
+// root works 10, forks A (works 30, allocates 100, frees it), forks B
+// (works 20), joins both, works 5.
+func TestHandBuiltGraph(t *testing.T) {
+	b := dag.NewBuilder()
+	const root, a, bb = 1, 2, 3
+	b.Work(root, 10)
+	b.Fork(root, a)
+	b.Fork(root, bb)
+	b.Work(a, 30)
+	b.Alloc(a, 96)
+	b.Free(a, 96)
+	b.Exit(a)
+	b.Work(bb, 20)
+	b.Exit(bb)
+	b.Join(root, a)
+	b.Join(root, bb)
+	b.Work(root, 5)
+	b.Exit(root)
+
+	if got := b.TotalWork(); got != 65 {
+		t.Errorf("work = %d, want 65", got)
+	}
+	// Span: root's 10, then the longer child (30), then the tail 5.
+	if got := b.Span(); got != 45 {
+		t.Errorf("span = %d, want 45", got)
+	}
+	if got := b.SerialSpace(root); got != 96 {
+		t.Errorf("serial space = %d, want 96", got)
+	}
+	dot := b.DOT()
+	for _, frag := range []string{"t1 -> t2", "t1 -> t3", "t2 -> t1 [style=dashed]"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+// TestDAGMatchesRuntimeAnalyzer: the offline span/work agree with the
+// machine's online accounting for a real program.
+func TestDAGMatchesRuntimeAnalyzer(t *testing.T) {
+	g := pthread.NewDAGBuilder()
+	cfg := matmul.Config{N: 128, Leaf: 32}
+	st, err := pthread.Run(pthread.Config{
+		Procs:        4,
+		Policy:       pthread.PolicyADF,
+		MemQuota:     1 << 30, // quota off: pure execution, no dummies
+		DAG:          g,
+		DefaultStack: pthread.SmallStackSize,
+	}, matmul.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(g.Threads()) != st.ThreadsCreated {
+		t.Errorf("dag threads %d != created %d", g.Threads(), st.ThreadsCreated)
+	}
+	// The DAG records thread-attributed charges; Stats.Work adds a few
+	// processor-level costs (first stack touches, exit-time stack
+	// frees), so the sums agree only closely.
+	dw, sw := float64(g.TotalWork()), float64(st.Work)
+	if dw < 0.97*sw || dw > sw {
+		t.Errorf("dag work %v vs stats work %v (>3%% apart)", g.TotalWork(), st.Work)
+	}
+	// Spans agree up to the charges the runtime counts on span but the
+	// DAG attributes differently at joins (join costs after the max).
+	ds, rs := float64(g.Span()), float64(st.Span)
+	if ds < 0.9*rs || ds > 1.1*rs {
+		t.Errorf("dag span %v vs runtime span %v (>10%% apart)", g.Span(), st.Span)
+	}
+}
+
+// TestSerialSpacePredictsMeasurement: the DAG's depth-first replay
+// predicts the heap high-water mark of an actual 1-processor
+// depth-first execution (ADF with the quota disabled).
+func TestSerialSpacePredictsMeasurement(t *testing.T) {
+	g := pthread.NewDAGBuilder()
+	cfg := matmul.Config{N: 128, Leaf: 32}
+	st, err := pthread.Run(pthread.Config{
+		Procs:        1,
+		Policy:       pthread.PolicyADF,
+		MemQuota:     1 << 30,
+		DAG:          g,
+		DefaultStack: pthread.SmallStackSize,
+	}, matmul.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := g.SerialSpace(1) // root is thread 1
+	if predicted != st.HeapHWM {
+		t.Errorf("DAG-predicted S1 = %d, measured = %d", predicted, st.HeapHWM)
+	}
+}
+
+// TestSpanScalesWithDepth (property-flavored): deeper trees have longer
+// spans, same-work wider trees do not.
+func TestSpanScalesWithDepth(t *testing.T) {
+	build := func(depth int) *dag.Builder {
+		g := pthread.NewDAGBuilder()
+		var rec func(tt *pthread.T, d int)
+		rec = func(tt *pthread.T, d int) {
+			tt.Charge(200000) // dwarf the per-thread overheads
+			if d == 0 {
+				return
+			}
+			tt.Par(
+				func(ct *pthread.T) { rec(ct, d-1) },
+				func(ct *pthread.T) { rec(ct, d-1) },
+			)
+		}
+		_, err := pthread.Run(pthread.Config{Procs: 2, Policy: pthread.PolicyADF, DAG: g}, func(tt *pthread.T) {
+			rec(tt, depth)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	shallow := build(3)
+	deep := build(6)
+	if deep.Span() <= shallow.Span() {
+		t.Errorf("span(depth 6) = %v <= span(depth 3) = %v", deep.Span(), shallow.Span())
+	}
+	if deep.TotalWork() <= 4*shallow.TotalWork() {
+		t.Errorf("work should grow ~8x: %v vs %v", deep.TotalWork(), shallow.TotalWork())
+	}
+	// But span grows only linearly in depth, far slower than work.
+	if float64(deep.Span()) > 3*float64(shallow.Span()) {
+		t.Errorf("span grew too fast: %v vs %v", deep.Span(), shallow.Span())
+	}
+}

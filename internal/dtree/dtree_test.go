@@ -1,0 +1,111 @@
+package dtree_test
+
+import (
+	"testing"
+
+	"spthreads/internal/dtree"
+	"spthreads/pthread"
+)
+
+func small() dtree.Config {
+	return dtree.Config{
+		Gen:     dtree.GenConfig{Instances: 20000, Attrs: 4},
+		MinLeaf: 500,
+		Check:   true,
+	}
+}
+
+func TestBuildLearns(t *testing.T) {
+	for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyADF, pthread.PolicyWS} {
+		if _, err := pthread.Run(pthread.Config{Procs: 4, Policy: pol}, dtree.Fine(small())); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+	}
+}
+
+func TestSerialLearns(t *testing.T) {
+	st, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, dtree.Serial(small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ThreadsCreated != 1 {
+		t.Errorf("serial created %d threads, want 1", st.ThreadsCreated)
+	}
+}
+
+// TestTreeDeterminism: the same seed must give the same tree under any
+// scheduling policy (the computation is deterministic even though the
+// schedule differs).
+func TestTreeDeterminism(t *testing.T) {
+	shape := func(pol pthread.Policy) (size, depth int) {
+		cfg := small()
+		cfg.Check = false
+		_, err := pthread.Run(pthread.Config{Procs: 8, Policy: pol}, func(tt *pthread.T) {
+			d := dtree.Generate(tt, cfg.Gen)
+			root := dtree.Build(tt, d, cfg.MinLeaf)
+			size, depth = root.Size(), root.Depth()
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		return size, depth
+	}
+	s1, d1 := shape(pthread.PolicyFIFO)
+	s2, d2 := shape(pthread.PolicyADF)
+	if s1 != s2 || d1 != d2 {
+		t.Errorf("tree shape differs across schedulers: (%d,%d) vs (%d,%d)", s1, d1, s2, d2)
+	}
+	if s1 < 7 {
+		t.Errorf("tree suspiciously small: %d nodes", s1)
+	}
+}
+
+// TestIrregularParallelism: the build forks a data-dependent number of
+// threads well above the processor count.
+func TestIrregularParallelism(t *testing.T) {
+	cfg := small()
+	cfg.Check = false
+	st, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyADF}, dtree.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ThreadsCreated-st.DummyThreads < 50 {
+		t.Errorf("threads = %d, expected a large dynamic thread count", st.ThreadsCreated)
+	}
+}
+
+// TestHoldoutAccuracy: the tree generalizes to instances it never saw
+// (same distribution, different seed), beating the majority baseline.
+func TestHoldoutAccuracy(t *testing.T) {
+	_, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		train := dtree.Generate(tt, dtree.GenConfig{Instances: 30000, Seed: 101})
+		test := dtree.Generate(tt, dtree.GenConfig{Instances: 8000, Seed: 202})
+		root := dtree.Build(tt, train, 500)
+
+		correct, majority := 0, 0
+		x := make([]float64, test.NumAttrs())
+		for i := 0; i < test.NumInstances(); i++ {
+			for a := range x {
+				x[a] = test.Attrs[a][i]
+			}
+			if root.Predict(x) == test.Label[i] {
+				correct++
+			}
+			if test.Label[i] {
+				majority++
+			}
+		}
+		n := test.NumInstances()
+		if majority < n/2 {
+			majority = n - majority
+		}
+		acc := float64(correct) / float64(n)
+		base := float64(majority) / float64(n)
+		if acc < base+0.1 {
+			panic("holdout accuracy does not beat the majority baseline by 10 points")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package fft implements the one-dimensional complex discrete Fourier
+// transform used in the paper's FFTW experiment (Figure 10): a
+// divide-and-conquer Cooley–Tukey algorithm whose parallel driver forks
+// a Pthread for each recursive transform until a requested number of
+// threads is reached, then recurses serially — mirroring the FFTW 1.x
+// multithreaded interface where the programmer picks the thread count.
+//
+// The experiment's point is scheduling, not codelets: with p threads the
+// transform partitions evenly only when p is a power of two, while with
+// 256 threads the scheduler load-balances any processor count.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"spthreads/pthread"
+)
+
+// CyclesPerFlop converts flops to virtual cycles.
+const CyclesPerFlop = 1
+
+// serialBase is the size at which recursion switches to the iterative
+// in-place kernel.
+const serialBase = 1 << 11
+
+// Plan holds the twiddle table and buffers for transforms of one size.
+type Plan struct {
+	N    int
+	w    []complex128 // w[j] = exp(-2*pi*i*j/N), j < N/2
+	wAll pthread.Alloc
+}
+
+// NewPlan precomputes twiddles for size n (a power of two). Planning is
+// untimed, as in FFTW's methodology (plans are built once, outside the
+// measured transform).
+func NewPlan(t *pthread.T, n int) *Plan {
+	if n&(n-1) != 0 || n <= 0 {
+		panic("fft: size must be a power of two")
+	}
+	p := &Plan{N: n}
+	p.wAll = t.Malloc(int64(n / 2 * 16))
+	p.w = make([]complex128, n/2)
+	for j := range p.w {
+		ang := -2 * math.Pi * float64(j) / float64(n)
+		p.w[j] = cmplx.Rect(1, ang)
+	}
+	t.Prefault(p.wAll)
+	return p
+}
+
+// Free releases the plan's simulated allocation.
+func (p *Plan) Free(t *pthread.T) { t.Free(p.wAll) }
+
+// Vector is a complex signal with a simulated allocation.
+type Vector struct {
+	Data  []complex128
+	alloc pthread.Alloc
+}
+
+// NewVector allocates a complex vector of length n.
+func NewVector(t *pthread.T, n int) *Vector {
+	return &Vector{
+		Data:  make([]complex128, n),
+		alloc: t.Malloc(int64(n) * 16),
+	}
+}
+
+// Free releases the vector's simulated allocation.
+func (v *Vector) Free(t *pthread.T) { t.Free(v.alloc) }
+
+// Touch charges access to elements [lo, hi).
+func (v *Vector) Touch(t *pthread.T, lo, hi int) {
+	t.Touch(v.alloc, int64(lo)*16, int64(hi-lo)*16)
+}
+
+// FillRandom fills with deterministic pseudo-random values.
+func (v *Vector) FillRandom(t *pthread.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range v.Data {
+		v.Data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	t.Prefault(v.alloc)
+}
+
+// Transform computes dst = DFT(src) using up to maxThreads lightweight
+// threads for the recursion (1 means fully serial). dst and src must
+// have length plan.N.
+func Transform(t *pthread.T, plan *Plan, src, dst *Vector, maxThreads int) {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	rec(t, plan, src.Data, src, 0, 1, dst, 0, plan.N, maxThreads)
+}
+
+// rec computes dst[dstOff:dstOff+n] = DFT_n of src elements
+// {srcOff, srcOff+stride, ...}. Each recursive half is forked as a
+// thread while the thread budget lasts (FFTW's driver behaviour).
+func rec(t *pthread.T, plan *Plan, s []complex128, srcV *Vector, srcOff, stride int, dst *Vector, dstOff, n, threads int) {
+	if threads <= 1 || n <= serialBase {
+		gather(t, plan, s, srcV, srcOff, stride, dst, dstOff, n)
+		return
+	}
+	half := n / 2
+	lt := threads / 2
+	rt := threads - lt
+	t.Par(
+		func(ct *pthread.T) {
+			rec(ct, plan, s, srcV, srcOff, stride*2, dst, dstOff, half, lt)
+		},
+		func(ct *pthread.T) {
+			rec(ct, plan, s, srcV, srcOff+stride, stride*2, dst, dstOff+half, half, rt)
+		},
+	)
+	combine(t, plan, dst, dstOff, n, stride, threads)
+}
+
+// combine merges two half-transforms in place with the butterfly
+// X[k] = E[k] + w^k O[k]; X[k+n/2] = E[k] - w^k O[k], splitting the
+// butterfly range over the available threads.
+func combine(t *pthread.T, plan *Plan, dst *Vector, off, n, stride, threads int) {
+	half := n / 2
+	chunk := (half + threads - 1) / threads
+	// Never fork a thread for less than minButterflies of work: the
+	// 20.5 us creation cost swamps smaller chunks (the granularity rule
+	// of Section 5.3).
+	const minButterflies = 4096
+	if chunk < minButterflies {
+		chunk = minButterflies
+	}
+	var fns []func(*pthread.T)
+	for lo := 0; lo < half; lo += chunk {
+		hi := lo + chunk
+		if hi > half {
+			hi = half
+		}
+		lo, hi := lo, hi
+		fn := func(ct *pthread.T) {
+			d := dst.Data
+			for k := lo; k < hi; k++ {
+				w := plan.w[k*stride]
+				e := d[off+k]
+				o := w * d[off+half+k]
+				d[off+k] = e + o
+				d[off+half+k] = e - o
+			}
+			ct.Charge(int64(hi-lo) * 10 * CyclesPerFlop)
+			dst.Touch(ct, off+lo, off+hi)
+			dst.Touch(ct, off+half+lo, off+half+hi)
+		}
+		fns = append(fns, fn)
+	}
+	if len(fns) == 1 {
+		fns[0](t)
+		return
+	}
+	t.Par(fns...)
+}
+
+// gather copies the strided input into dst contiguously in bit-reversed
+// order and runs the iterative in-place kernel.
+func gather(t *pthread.T, plan *Plan, s []complex128, srcV *Vector, srcOff, stride int, dst *Vector, dstOff, n int) {
+	d := dst.Data[dstOff : dstOff+n]
+	// Bit-reversal copy.
+	for i, j := 0, 0; i < n; i++ {
+		d[j] = s[srcOff+i*stride]
+		// Increment j as a reversed counter.
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j &^= bit
+		}
+		j |= bit
+	}
+	// Iterative Cooley–Tukey. The twiddle stride accounts for the
+	// subtransform's position: a size-n subtransform at input stride
+	// `stride` uses every (stride*N/n... ) — since plan.w is indexed by
+	// j*N/n for span n, and stride = N/n here, the factor is stride.
+	for span := 2; span <= n; span <<= 1 {
+		halfspan := span >> 1
+		tstep := (n / span) * stride
+		for blk := 0; blk < n; blk += span {
+			for k := 0; k < halfspan; k++ {
+				w := plan.w[k*tstep]
+				e := d[blk+k]
+				o := w * d[blk+halfspan+k]
+				d[blk+k] = e + o
+				d[blk+halfspan+k] = e - o
+			}
+		}
+	}
+	flops := int64(5*n) * int64(log2(n)) * CyclesPerFlop
+	t.Charge(flops)
+	srcV.Touch(t, 0, len(srcV.Data)) // strided read sweeps the input
+	dst.Touch(t, dstOff, dstOff+n)
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// Config parameterizes the FFT program.
+type Config struct {
+	// LogN is the transform size exponent (default 16; the paper used
+	// 2^22).
+	LogN int
+	// Threads is the number of threads the driver may fork (FFTW's
+	// "nthreads" parameter); 1 is serial.
+	Threads int
+	// Seed drives input generation.
+	Seed int64
+	// Check verifies against a direct DFT on a sample of outputs.
+	Check bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.LogN == 0 {
+		c.LogN = 16
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 99
+	}
+	return c
+}
+
+// Program returns a runnable FFT program.
+func Program(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) {
+		n := 1 << cfg.LogN
+		plan := NewPlan(t, n)
+		in := NewVector(t, n)
+		out := NewVector(t, n)
+		in.FillRandom(t, cfg.Seed)
+		Transform(t, plan, in, out, cfg.Threads)
+		if cfg.Check {
+			check(t, in, out)
+		}
+		out.Free(t)
+		in.Free(t)
+		plan.Free(t)
+	}
+}
+
+// check compares a few outputs against the direct O(n) DFT sum.
+func check(t *pthread.T, in, out *Vector) {
+	n := len(in.Data)
+	rng := rand.New(rand.NewSource(3))
+	for s := 0; s < 4; s++ {
+		k := rng.Intn(n)
+		var want complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			want += in.Data[j] * cmplx.Rect(1, ang)
+		}
+		if cmplx.Abs(out.Data[k]-want) > 1e-5*float64(n) {
+			panic("fft: result mismatch")
+		}
+	}
+}
+
+// InverseTransform computes dst = IDFT(src) (normalized so that a
+// forward-then-inverse round trip reproduces the input), using the
+// conjugation identity IDFT(x) = conj(DFT(conj(x))) / N.
+func InverseTransform(t *pthread.T, plan *Plan, src, dst *Vector, maxThreads int) {
+	n := plan.N
+	tmp := NewVector(t, n)
+	for i, v := range src.Data {
+		tmp.Data[i] = cmplx.Conj(v)
+	}
+	t.Charge(int64(n) * 2 * CyclesPerFlop)
+	tmp.Touch(t, 0, n)
+	Transform(t, plan, tmp, dst, maxThreads)
+	inv := complex(1/float64(n), 0)
+	for i, v := range dst.Data {
+		dst.Data[i] = cmplx.Conj(v) * inv
+	}
+	t.Charge(int64(n) * 2 * CyclesPerFlop)
+	dst.Touch(t, 0, n)
+	tmp.Free(t)
+}

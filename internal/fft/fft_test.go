@@ -1,0 +1,180 @@
+package fft_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"spthreads/internal/fft"
+	"spthreads/pthread"
+)
+
+// TestAgainstDirectDFT verifies the transform against the O(n^2)
+// definition for several sizes and thread counts.
+func TestAgainstDirectDFT(t *testing.T) {
+	for _, logn := range []int{4, 8, 13} {
+		for _, threads := range []int{1, 3, 8} {
+			n := 1 << logn
+			var in, out []complex128
+			_, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+				plan := fft.NewPlan(tt, n)
+				vin := fft.NewVector(tt, n)
+				vout := fft.NewVector(tt, n)
+				vin.FillRandom(tt, 7)
+				fft.Transform(tt, plan, vin, vout, threads)
+				in = append([]complex128(nil), vin.Data...)
+				out = append([]complex128(nil), vout.Data...)
+			})
+			if err != nil {
+				t.Fatalf("logn=%d threads=%d: %v", logn, threads, err)
+			}
+			if n > 1<<8 {
+				continue // direct check too slow; covered below by Parseval
+			}
+			for k := 0; k < n; k++ {
+				var want complex128
+				for j := 0; j < n; j++ {
+					ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+					want += in[j] * cmplx.Rect(1, ang)
+				}
+				if cmplx.Abs(out[k]-want) > 1e-9*float64(n) {
+					t.Fatalf("logn=%d threads=%d k=%d: got %v want %v", logn, threads, k, out[k], want)
+				}
+			}
+		}
+	}
+}
+
+// TestParseval checks energy conservation for a larger transform.
+func TestParseval(t *testing.T) {
+	n := 1 << 13
+	var sumIn, sumOut float64
+	_, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		plan := fft.NewPlan(tt, n)
+		vin := fft.NewVector(tt, n)
+		vout := fft.NewVector(tt, n)
+		vin.FillRandom(tt, 11)
+		fft.Transform(tt, plan, vin, vout, 16)
+		for i := 0; i < n; i++ {
+			a := cmplx.Abs(vin.Data[i])
+			b := cmplx.Abs(vout.Data[i])
+			sumIn += a * a
+			sumOut += b * b
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(sumOut-float64(n)*sumIn) / (float64(n) * sumIn); rel > 1e-9 {
+		t.Errorf("Parseval violated: rel err %g", rel)
+	}
+}
+
+// TestProgramCheck runs the packaged program with its self-check.
+func TestProgramCheck(t *testing.T) {
+	for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyADF} {
+		cfg := fft.Config{LogN: 12, Threads: 32, Check: true}
+		if _, err := pthread.Run(pthread.Config{Procs: 8, Policy: pol}, fft.Program(cfg)); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+	}
+}
+
+// TestThreadCount checks the driver creates the requested parallelism:
+// with 2^k threads the recursion forks 2*(2^k - 1) transform threads
+// plus the combine chunk threads.
+func TestThreadCount(t *testing.T) {
+	st, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF},
+		fft.Program(fft.Config{LogN: 16, Threads: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 leaves -> 6 transform threads (two levels of Par) plus combine
+	// chunks: level with 2 sub-transforms uses 2 threads each for half
+	// ranges, top level 4. At minimum the run forks more than 6 threads
+	// and far fewer than the 256-thread configuration would.
+	if st.ThreadsCreated < 7 || st.ThreadsCreated > 64 {
+		t.Errorf("threads created = %d, want in [7, 64]", st.ThreadsCreated)
+	}
+}
+
+// TestLinearity (property): DFT(a*x + b*y) = a*DFT(x) + b*DFT(y).
+func TestLinearity(t *testing.T) {
+	n := 1 << 10
+	run := func(seedX, seedY int64, a, b complex128) (lhs, rhsX, rhsY []complex128) {
+		_, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+			plan := fft.NewPlan(tt, n)
+			x := fft.NewVector(tt, n)
+			y := fft.NewVector(tt, n)
+			x.FillRandom(tt, seedX)
+			y.FillRandom(tt, seedY)
+			comb := fft.NewVector(tt, n)
+			for i := 0; i < n; i++ {
+				comb.Data[i] = a*x.Data[i] + b*y.Data[i]
+			}
+			outC := fft.NewVector(tt, n)
+			outX := fft.NewVector(tt, n)
+			outY := fft.NewVector(tt, n)
+			fft.Transform(tt, plan, comb, outC, 8)
+			fft.Transform(tt, plan, x, outX, 8)
+			fft.Transform(tt, plan, y, outY, 8)
+			lhs = append(lhs, outC.Data...)
+			rhsX = append(rhsX, outX.Data...)
+			rhsY = append(rhsY, outY.Data...)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	a, b := complex(1.5, -0.5), complex(-0.25, 2.0)
+	lhs, rx, ry := run(21, 22, a, b)
+	for k := 0; k < n; k++ {
+		want := a*rx[k] + b*ry[k]
+		if cmplx.Abs(lhs[k]-want) > 1e-8*float64(n) {
+			t.Fatalf("linearity violated at k=%d: %v vs %v", k, lhs[k], want)
+		}
+	}
+}
+
+// TestImpulseResponse: DFT of a unit impulse is all ones.
+func TestImpulseResponse(t *testing.T) {
+	n := 1 << 8
+	_, err := pthread.Run(pthread.Config{Procs: 2, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		plan := fft.NewPlan(tt, n)
+		in := fft.NewVector(tt, n)
+		out := fft.NewVector(tt, n)
+		in.Data[0] = 1
+		fft.Transform(tt, plan, in, out, 4)
+		for k := 0; k < n; k++ {
+			if cmplx.Abs(out.Data[k]-1) > 1e-12 {
+				panic("impulse response not flat")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTrip: inverse(forward(x)) == x.
+func TestRoundTrip(t *testing.T) {
+	n := 1 << 12
+	_, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		plan := fft.NewPlan(tt, n)
+		in := fft.NewVector(tt, n)
+		mid := fft.NewVector(tt, n)
+		out := fft.NewVector(tt, n)
+		in.FillRandom(tt, 55)
+		fft.Transform(tt, plan, in, mid, 8)
+		fft.InverseTransform(tt, plan, mid, out, 8)
+		for i := 0; i < n; i++ {
+			if cmplx.Abs(out.Data[i]-in.Data[i]) > 1e-10 {
+				panic("round trip diverged")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

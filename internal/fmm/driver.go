@@ -1,0 +1,237 @@
+package fmm
+
+import (
+	"math"
+
+	"spthreads/pthread"
+)
+
+// This file drives the four FMM phases (paper Section 5.1.2):
+//
+//  1. multipole expansions of leaf cells — threads over leaves;
+//  2. multipole expansions of interior cells bottom-up — threads over
+//     parent cells;
+//  3. local expansions top-down — the interaction list of each cell is
+//     chunked ~25 entries per thread, forked as a binary tree, with the
+//     partial expansions accumulated under the cell's mutex from
+//     dynamically allocated temporaries;
+//  4. potential evaluation at the bodies plus direct neighbor
+//     interactions — one thread per leaf.
+//
+// Threads in phases 1–3 handle CellBatch cells each (see Config).
+
+// parBinary runs the functions as a binary tree of forked threads (the
+// Pthreads interface only has a binary fork, so the paper forks delta
+// threads as a binary tree).
+func parBinary(t *pthread.T, fns []func(*pthread.T)) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0](t)
+		return
+	}
+	mid := len(fns) / 2
+	t.Par(
+		func(ct *pthread.T) { parBinary(ct, fns[:mid]) },
+		func(ct *pthread.T) { parBinary(ct, fns[mid:]) },
+	)
+}
+
+// batchCells turns a per-cell-index action into CellBatch-sized thread
+// functions over [0, n).
+func (s *System) batchCells(n int, action func(ct *pthread.T, idx int)) []func(*pthread.T) {
+	batch := s.cfg.CellBatch
+	var fns []func(*pthread.T)
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		fns = append(fns, func(ct *pthread.T) {
+			for i := lo; i < hi; i++ {
+				action(ct, i)
+			}
+		})
+	}
+	return fns
+}
+
+// upward runs phases 1 and 2.
+func (s *System) upward(t *pthread.T, parallel bool) {
+	leaves := s.levels[s.cfg.Levels-1]
+	if parallel {
+		parBinary(t, s.batchCells(len(leaves.cells), func(ct *pthread.T, i int) {
+			s.p2m(ct, leaves.cells[i])
+		}))
+	} else {
+		for _, c := range leaves.cells {
+			s.p2m(t, c)
+		}
+	}
+	for l := s.cfg.Levels - 2; l >= 0; l-- {
+		lv := s.levels[l]
+		child := s.levels[l+1]
+		shift := func(ct *pthread.T, idx int) {
+			ix, iy := idx%lv.grid, idx/lv.grid
+			parent := lv.cells[idx]
+			for cy := 0; cy < 2; cy++ {
+				for cx := 0; cx < 2; cx++ {
+					s.m2m(ct, parent, child.cells[(iy*2+cy)*child.grid+ix*2+cx])
+				}
+			}
+		}
+		if parallel {
+			parBinary(t, s.batchCells(lv.grid*lv.grid, shift))
+		} else {
+			for i := 0; i < lv.grid*lv.grid; i++ {
+				shift(t, i)
+			}
+		}
+	}
+}
+
+// downward runs phase 3.
+func (s *System) downward(t *pthread.T, parallel bool) {
+	p := s.cfg.Terms
+	for l := 2; l < s.cfg.Levels; l++ {
+		lv := s.levels[l]
+		parentLv := s.levels[l-1]
+		// cellWork processes one cell: inherit the parent's local
+		// expansion, then accumulate M2L terms from one chunk of the
+		// interaction list into a dynamically allocated temporary.
+		m2lChunk := func(ct *pthread.T, c *cell, chunk []*cell) {
+			// The temporary expansion buffer is allocated dynamically —
+			// the allocation Figure 9(a) measures under both schedulers.
+			tmpAlloc := ct.Malloc(int64(p+1) * 16)
+			ct.TouchAll(tmpAlloc)
+			tmp := make([]complex128, p+1)
+			for _, src := range chunk {
+				s.m2l(ct, src, c.center, tmp)
+			}
+			c.mu.Lock(ct)
+			for k := range tmp {
+				c.local[k] += tmp[k]
+			}
+			c.mu.Unlock(ct)
+			ct.Free(tmpAlloc)
+		}
+		if parallel {
+			// Batch whole cells per thread; a cell with an oversized
+			// interaction list still gets extra chunk threads, forked
+			// as a binary tree.
+			var fns []func(*pthread.T)
+			batch := s.batchCells(lv.grid*lv.grid, func(ct *pthread.T, idx int) {
+				ix, iy := idx%lv.grid, idx/lv.grid
+				c := lv.cells[idx]
+				s.l2l(ct, parentLv.cells[(iy/2)*parentLv.grid+ix/2], c)
+				il := s.interactionList(l, ix, iy)
+				if len(il) > s.cfg.NeighborChunk {
+					var sub []func(*pthread.T)
+					for lo := 0; lo < len(il); lo += s.cfg.NeighborChunk {
+						hi := lo + s.cfg.NeighborChunk
+						if hi > len(il) {
+							hi = len(il)
+						}
+						lo, hi := lo, hi
+						sub = append(sub, func(cct *pthread.T) { m2lChunk(cct, c, il[lo:hi]) })
+					}
+					parBinary(ct, sub)
+				} else if len(il) > 0 {
+					m2lChunk(ct, c, il)
+				}
+			})
+			fns = append(fns, batch...)
+			parBinary(t, fns)
+		} else {
+			for idx := 0; idx < lv.grid*lv.grid; idx++ {
+				ix, iy := idx%lv.grid, idx/lv.grid
+				c := lv.cells[idx]
+				s.l2l(t, parentLv.cells[(iy/2)*parentLv.grid+ix/2], c)
+				if il := s.interactionList(l, ix, iy); len(il) > 0 {
+					m2lChunk(t, c, il)
+				}
+			}
+		}
+	}
+}
+
+// evaluate runs phase 4 (a thread per leaf: the near-field work per
+// leaf is large enough to amortize the fork).
+func (s *System) evaluate(t *pthread.T, parallel bool) {
+	lv := s.levels[s.cfg.Levels-1]
+	if parallel {
+		fns := make([]func(*pthread.T), 0, lv.grid*lv.grid)
+		for iy := 0; iy < lv.grid; iy++ {
+			for ix := 0; ix < lv.grid; ix++ {
+				ix, iy := ix, iy
+				fns = append(fns, func(ct *pthread.T) { s.l2p(ct, lv, ix, iy) })
+			}
+		}
+		parBinary(t, fns)
+	} else {
+		for iy := 0; iy < lv.grid; iy++ {
+			for ix := 0; ix < lv.grid; ix++ {
+				s.l2p(t, lv, ix, iy)
+			}
+		}
+	}
+}
+
+// Run executes all four phases.
+func (s *System) Run(t *pthread.T, parallel bool) {
+	s.upward(t, parallel)
+	s.downward(t, parallel)
+	s.evaluate(t, parallel)
+}
+
+// Fine returns the fine-grained program (threads over cells in every
+// phase).
+func Fine(cfg Config) func(*pthread.T) {
+	return func(t *pthread.T) {
+		s := NewSystem(t, cfg)
+		s.Run(t, true)
+		if cfg.Check {
+			s.verify()
+		}
+		s.Free(t)
+	}
+}
+
+// Serial returns the sequential baseline.
+func Serial(cfg Config) func(*pthread.T) {
+	return func(t *pthread.T) {
+		s := NewSystem(t, cfg)
+		s.Run(t, false)
+		if cfg.Check {
+			s.verify()
+		}
+		s.Free(t)
+	}
+}
+
+// verify compares FMM potentials with direct sums on a sample and
+// panics if the relative error is out of range for the expansion order.
+func (s *System) verify() {
+	var errAbs, refAbs float64
+	step := s.cfg.N/64 + 1
+	for i := 0; i < s.cfg.N; i += step {
+		direct := s.DirectPotential(i)
+		errAbs += math.Abs(s.Pot[i] - direct)
+		refAbs += math.Abs(direct)
+	}
+	if refAbs == 0 {
+		panic("fmm: degenerate reference potential")
+	}
+	if errAbs/refAbs > errTolerance(s.cfg.Terms) {
+		panic("fmm: potential error out of tolerance")
+	}
+}
+
+func errTolerance(p int) float64 {
+	// Well-separated cells satisfy |z|/|z0| <= ~0.75 in the worst
+	// corner case of the uniform grid, so errors fall ~0.75^p; keep a
+	// generous safety factor.
+	return 8 * math.Pow(0.75, float64(p))
+}

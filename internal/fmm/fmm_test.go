@@ -1,0 +1,98 @@
+package fmm_test
+
+import (
+	"math"
+	"testing"
+
+	"spthreads/internal/fmm"
+	"spthreads/pthread"
+)
+
+// TestPotentialAccuracy compares FMM potentials against direct sums for
+// increasing expansion orders; the error must fall with p.
+func TestPotentialAccuracy(t *testing.T) {
+	errAt := func(terms int) float64 {
+		var rel float64
+		_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, func(tt *pthread.T) {
+			s := fmm.NewSystem(tt, fmm.Config{N: 800, Levels: 3, Terms: terms})
+			s.Run(tt, false)
+			var errAbs, refAbs float64
+			for i := 0; i < 800; i += 13 {
+				direct := s.DirectPotential(i)
+				errAbs += math.Abs(s.Pot[i] - direct)
+				refAbs += math.Abs(direct)
+			}
+			rel = errAbs / refAbs
+		})
+		if err != nil {
+			t.Fatalf("terms=%d: %v", terms, err)
+		}
+		return rel
+	}
+	e5 := errAt(5)
+	e10 := errAt(10)
+	e15 := errAt(15)
+	t.Logf("relative error: p=5 %.2e, p=10 %.2e, p=15 %.2e", e5, e10, e15)
+	if e5 > 0.2 {
+		t.Errorf("p=5 error %.3f too large", e5)
+	}
+	if e10 > e5/2 || e15 > e10/2 {
+		t.Errorf("error not decreasing with order: %.2e %.2e %.2e", e5, e10, e15)
+	}
+}
+
+// TestParallelMatchesSerial: the parallel phases must compute the same
+// potentials as the serial run (within accumulation-order tolerance).
+func TestParallelMatchesSerial(t *testing.T) {
+	run := func(parallel bool, procs int, pol pthread.Policy) []float64 {
+		var out []float64
+		_, err := pthread.Run(pthread.Config{Procs: procs, Policy: pol}, func(tt *pthread.T) {
+			s := fmm.NewSystem(tt, fmm.Config{N: 1000, Levels: 3, Terms: 6})
+			s.Run(tt, parallel)
+			out = append([]float64(nil), s.Pot...)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(false, 1, pthread.PolicyLIFO)
+	for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyADF, pthread.PolicyWS} {
+		par := run(true, 4, pol)
+		for i := range serial {
+			if d := math.Abs(par[i] - serial[i]); d > 1e-9*(1+math.Abs(serial[i])) {
+				t.Fatalf("%s: potential %d differs: %g vs %g", pol, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestFineProgram runs the packaged program with its self-check under
+// both schedulers of Figure 9(a).
+func TestFineProgram(t *testing.T) {
+	cfg := fmm.Config{N: 2000, Levels: 4, Check: true}
+	for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyADF} {
+		if _, err := pthread.Run(pthread.Config{Procs: 8, Policy: pol}, fmm.Fine(cfg)); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+	}
+}
+
+// TestDynamicAllocation: the downward phase allocates and frees
+// expansion temporaries; FIFO must show a larger allocation high-water
+// mark than ADF (Figure 9a's point).
+func TestDynamicAllocation(t *testing.T) {
+	cfg := fmm.Config{N: 4000, Levels: 4}
+	run := func(pol pthread.Policy) pthread.Stats {
+		st, err := pthread.Run(pthread.Config{Procs: 8, Policy: pol, DefaultStack: pthread.SmallStackSize}, fmm.Fine(cfg))
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		return st
+	}
+	fifo := run(pthread.PolicyFIFO)
+	adf := run(pthread.PolicyADF)
+	if fifo.TotalHWM <= adf.TotalHWM {
+		t.Errorf("total HWM: fifo=%d adf=%d, expected fifo larger", fifo.TotalHWM, adf.TotalHWM)
+	}
+}

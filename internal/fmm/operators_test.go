@@ -1,0 +1,138 @@
+package fmm
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"spthreads/pthread"
+)
+
+// Direct unit tests of the translation operators against exact
+// single-charge potentials: a multipole formed from one charge must
+// reproduce q*log(z - z0) at a far point through every operator chain.
+
+func opHarness(t *testing.T, terms int, fn func(tt *pthread.T, s *System)) {
+	t.Helper()
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, func(tt *pthread.T) {
+		s := NewSystem(tt, Config{N: 4, Levels: 2, Terms: terms})
+		fn(tt, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// evalMultipole evaluates a multipole expansion at z.
+func evalMultipole(mult []complex128, center, z complex128) complex128 {
+	d := z - center
+	acc := mult[0] * cmplx.Log(d)
+	dk := complex(1, 0)
+	for k := 1; k < len(mult); k++ {
+		dk *= d
+		acc += mult[k] / dk
+	}
+	return acc
+}
+
+// evalLocal evaluates a local expansion at z.
+func evalLocal(local []complex128, center, z complex128) complex128 {
+	d := z - center
+	acc := local[len(local)-1]
+	for k := len(local) - 2; k >= 0; k-- {
+		acc = acc*d + local[k]
+	}
+	return acc
+}
+
+const opTerms = 14
+
+func TestP2MAndM2M(t *testing.T) {
+	opHarness(t, opTerms, func(tt *pthread.T, s *System) {
+		q := 1.3
+		src := complex(0.10, 0.20)
+		cLeaf := complex(0.125, 0.125)
+		cParent := complex(0.25, 0.25)
+		far := complex(2.1, 1.7)
+		exact := complex(q, 0) * cmplx.Log(far-src)
+
+		leaf := &cell{center: cLeaf, mult: make([]complex128, opTerms+1)}
+		s.Pos[0] = src
+		s.Q[0] = q
+		leaf.bodies = []int32{0}
+		s.p2m(tt, leaf)
+		if d := cmplx.Abs(evalMultipole(leaf.mult, cLeaf, far) - exact); d > 1e-10 {
+			t.Errorf("P2M evaluation error %g", d)
+		}
+
+		parent := &cell{center: cParent, mult: make([]complex128, opTerms+1)}
+		s.m2m(tt, parent, leaf)
+		if d := cmplx.Abs(evalMultipole(parent.mult, cParent, far) - exact); d > 1e-9 {
+			t.Errorf("M2M evaluation error %g", d)
+		}
+	})
+}
+
+func TestM2LAndL2L(t *testing.T) {
+	opHarness(t, opTerms, func(tt *pthread.T, s *System) {
+		q := -0.7
+		src := complex(0.05, 0.15)
+		cSrc := complex(0.1, 0.1)
+		cLoc := complex(2.0, 1.5)
+		cChild := complex(2.05, 1.6)
+		far := complex(2.1, 1.7)
+		exact := complex(q, 0) * cmplx.Log(far-src)
+
+		leaf := &cell{center: cSrc, mult: make([]complex128, opTerms+1)}
+		s.Pos[0] = src
+		s.Q[0] = q
+		leaf.bodies = []int32{0}
+		s.p2m(tt, leaf)
+
+		local := make([]complex128, opTerms+1)
+		s.m2l(tt, leaf, cLoc, local)
+		if d := cmplx.Abs(evalLocal(local, cLoc, far) - exact); d > 1e-9 {
+			t.Errorf("M2L evaluation error %g", d)
+		}
+
+		parent := &cell{center: cLoc, local: local}
+		child := &cell{center: cChild, local: make([]complex128, opTerms+1)}
+		s.l2l(tt, parent, child)
+		if d := cmplx.Abs(evalLocal(child.local, cChild, far) - exact); d > 1e-9 {
+			t.Errorf("L2L evaluation error %g", d)
+		}
+	})
+}
+
+// TestInteractionListProperties: well-separated cells are exactly the
+// children of the parent's neighborhood minus the cell's own neighbors,
+// never adjacent, and bounded by 27 in 2D.
+func TestInteractionListProperties(t *testing.T) {
+	opHarness(t, 4, func(tt *pthread.T, s *System) {
+		sys := NewSystem(tt, Config{N: 16, Levels: 4, Terms: 4})
+		l := 3
+		g := 8
+		for iy := 0; iy < g; iy++ {
+			for ix := 0; ix < g; ix++ {
+				il := sys.interactionList(l, ix, iy)
+				if len(il) > 27 {
+					t.Fatalf("cell (%d,%d): interaction list %d > 27", ix, iy, len(il))
+				}
+				for _, c := range il {
+					// Recover the cell's grid coordinates from its center.
+					jx := int(real(c.center) * float64(g))
+					jy := int(imag(c.center) * float64(g))
+					if abs(jx-ix) <= 1 && abs(jy-iy) <= 1 {
+						t.Fatalf("cell (%d,%d): interaction list contains neighbor (%d,%d)", ix, iy, jx, jy)
+					}
+					if abs(jx/2-ix/2) > 1 || abs(jy/2-iy/2) > 1 {
+						t.Fatalf("cell (%d,%d): entry (%d,%d) outside parent neighborhood", ix, iy, jx, jy)
+					}
+				}
+			}
+		}
+		// Interior cells see the full 27.
+		if il := sys.interactionList(l, 4, 4); len(il) != 27 {
+			t.Errorf("interior cell: interaction list %d, want 27", len(il))
+		}
+	})
+}

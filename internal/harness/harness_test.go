@@ -1,0 +1,64 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spthreads/internal/harness"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"abldummy", "ablk", "ablloc", "ablsched", "ablws",
+		"fig1", "fig10", "fig11", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"scale",
+	}
+	got := harness.Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.What == "" || e.Run == nil {
+			t.Errorf("experiment %s incompletely registered", e.ID)
+		}
+	}
+	if _, ok := harness.Find("fig7"); !ok {
+		t.Error("Find(fig7) failed")
+	}
+	if _, ok := harness.Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+// TestExperimentsRunSmall executes every experiment at small scale and
+// sanity-checks the output (each must produce a non-trivial table).
+func TestExperimentsRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short mode")
+	}
+	// Restrict sweeps to two processor counts to keep the suite quick.
+	opt := harness.Options{Scale: "small", Procs: []int{2, 8}}
+	for _, e := range harness.Experiments() {
+		if e.ID == "scale" {
+			continue // same code path as fig8
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, opt); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 80 {
+				t.Errorf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+				t.Errorf("%s: output contains NaN/Inf:\n%s", e.ID, out)
+			}
+		})
+	}
+}

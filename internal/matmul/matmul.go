@@ -1,0 +1,305 @@
+// Package matmul implements the paper's case study (Section 3): a
+// block-based, divide-and-conquer dense matrix multiply where every
+// parallel recursive call is executed by forking a new thread
+// (Figure 4). The recursion switches to an efficient serial kernel at
+// 64x64 blocks, the paper's granularity on the 167 MHz UltraSPARC.
+//
+// Matrices hold real float64 data — results are computed and checkable —
+// while allocation, page touches, and floating-point work are charged to
+// the simulated machine alongside.
+package matmul
+
+import (
+	"math/rand"
+
+	"spthreads/pthread"
+)
+
+// DefaultLeaf is the serial base-case block size (the paper's K = 64).
+const DefaultLeaf = 64
+
+// CyclesPerFlop converts floating-point operations into virtual cycles
+// of the modeled 167 MHz processor.
+const CyclesPerFlop = 1
+
+// Matrix is a dense row-major matrix view. Views created by quadrant
+// slicing share the parent's backing storage and simulated allocation.
+type Matrix struct {
+	// N is the view's dimension (views are square).
+	N int
+	// Stride is the row stride of the backing storage.
+	Stride int
+	data   []float64 // view into backing storage, starting at (0,0)
+	alloc  pthread.Alloc
+	offElt int64 // element offset of the view inside the allocation
+}
+
+// New allocates an NxN matrix through the simulated allocator.
+func New(t *pthread.T, n int) *Matrix {
+	a := t.Malloc(int64(n) * int64(n) * 8)
+	return &Matrix{
+		N:      n,
+		Stride: n,
+		data:   make([]float64, n*n),
+		alloc:  a,
+	}
+}
+
+// Free releases the matrix's simulated allocation. Only whole matrices
+// (not quadrant views) may be freed.
+func (m *Matrix) Free(t *pthread.T) {
+	if m.offElt != 0 || m.Stride != m.N {
+		panic("matmul: freeing a view")
+	}
+	t.Free(m.alloc)
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.Stride+j] }
+
+// Set stores element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.Stride+j] = v }
+
+// Quad returns the quadrant view (qi, qj) of a matrix with even N:
+// Quad(0,0) is the top-left, Quad(1,1) the bottom-right.
+func (m *Matrix) Quad(qi, qj int) *Matrix {
+	h := m.N / 2
+	off := qi*h*m.Stride + qj*h
+	return &Matrix{
+		N:      h,
+		Stride: m.Stride,
+		data:   m.data[off:],
+		alloc:  m.alloc,
+		offElt: m.offElt + int64(off),
+	}
+}
+
+// touch charges page accesses for the view's rows.
+func (m *Matrix) touch(t *pthread.T) {
+	rowBytes := int64(m.N) * 8
+	for i := 0; i < m.N; i++ {
+		off := (m.offElt + int64(i*m.Stride)) * 8
+		t.Touch(m.alloc, off, rowBytes)
+	}
+}
+
+// FillRandom fills the matrix with deterministic pseudo-random values.
+// Input preparation is untimed, as in the paper's methodology: the
+// pages are prefaulted without virtual-time charges.
+func (m *Matrix) FillRandom(t *pthread.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			m.Set(i, j, rng.Float64()-0.5)
+		}
+	}
+	t.Prefault(m.alloc)
+}
+
+// Zero clears the matrix without virtual-time charges (untimed input
+// preparation).
+func (m *Matrix) Zero(t *pthread.T) {
+	for i := 0; i < m.N; i++ {
+		row := m.data[i*m.Stride : i*m.Stride+m.N]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	t.Prefault(m.alloc)
+}
+
+// serialMultAdd computes C += A*B with a register-blocked loop nest and
+// charges 2*n^3 flops plus the operand page touches — the "efficient
+// serial algorithm" at the base of the recursion.
+func serialMultAdd(t *pthread.T, a, b, c *Matrix) {
+	n := a.N
+	for i := 0; i < n; i++ {
+		ci := c.data[i*c.Stride : i*c.Stride+n]
+		for k := 0; k < n; k++ {
+			aik := a.data[i*a.Stride+k]
+			if aik == 0 {
+				continue
+			}
+			bk := b.data[k*b.Stride : k*b.Stride+n]
+			for j, bv := range bk {
+				ci[j] += aik * bv
+			}
+		}
+	}
+	t.Charge(2 * int64(n) * int64(n) * int64(n) * CyclesPerFlop)
+	a.touch(t)
+	b.touch(t)
+	c.touch(t)
+}
+
+// serialAdd computes C += T, charging n^2 flops and touches.
+func serialAdd(t *pthread.T, c, tm *Matrix) {
+	n := c.N
+	for i := 0; i < n; i++ {
+		ci := c.data[i*c.Stride : i*c.Stride+n]
+		ti := tm.data[i*tm.Stride : i*tm.Stride+n]
+		for j := range ci {
+			ci[j] += ti[j]
+		}
+	}
+	t.Charge(int64(n) * int64(n) * CyclesPerFlop)
+	c.touch(t)
+	tm.touch(t)
+}
+
+// ParallelMultAdd computes C += A*B with the Figure 4 algorithm: eight
+// recursive multiplies forked as threads (four accumulating into C's
+// quadrants, four into a temporary), a join, and a parallel add of the
+// temporary into C. leaf is the serial cutoff (DefaultLeaf in the
+// paper).
+func ParallelMultAdd(t *pthread.T, a, b, c *Matrix, leaf int) {
+	n := a.N
+	if n <= leaf || n%2 != 0 {
+		serialMultAdd(t, a, b, c)
+		return
+	}
+	tmp := New(t, n)
+	// The temporary must start zeroed; physical zeroing happens lazily
+	// per quadrant inside the recursion's base case, but the Go slice
+	// from New is already zero, so only the touches remain (charged by
+	// the leaves' writes).
+	a11, a12, a21, a22 := a.Quad(0, 0), a.Quad(0, 1), a.Quad(1, 0), a.Quad(1, 1)
+	b11, b12, b21, b22 := b.Quad(0, 0), b.Quad(0, 1), b.Quad(1, 0), b.Quad(1, 1)
+	c11, c12, c21, c22 := c.Quad(0, 0), c.Quad(0, 1), c.Quad(1, 0), c.Quad(1, 1)
+	t11, t12, t21, t22 := tmp.Quad(0, 0), tmp.Quad(0, 1), tmp.Quad(1, 0), tmp.Quad(1, 1)
+
+	mult := func(x, y, z *Matrix) func(*pthread.T) {
+		return func(ct *pthread.T) { ParallelMultAdd(ct, x, y, z, leaf) }
+	}
+	t.Par(
+		mult(a11, b11, c11),
+		mult(a11, b12, c12),
+		mult(a21, b11, c21),
+		mult(a21, b12, c22),
+		mult(a12, b21, t11),
+		mult(a12, b22, t12),
+		mult(a22, b21, t21),
+		mult(a22, b22, t22),
+	)
+	ParallelAdd(t, c, tmp, leaf)
+	tmp.Free(t)
+}
+
+// ParallelAdd computes C += T by divide and conquer, forking a thread
+// per quadrant (the paper's Matrix_Add).
+func ParallelAdd(t *pthread.T, c, tmp *Matrix, leaf int) {
+	n := c.N
+	if n <= leaf || n%2 != 0 {
+		serialAdd(t, c, tmp)
+		return
+	}
+	add := func(x, y *Matrix) func(*pthread.T) {
+		return func(ct *pthread.T) { ParallelAdd(ct, x, y, leaf) }
+	}
+	t.Par(
+		add(c.Quad(0, 0), tmp.Quad(0, 0)),
+		add(c.Quad(0, 1), tmp.Quad(0, 1)),
+		add(c.Quad(1, 0), tmp.Quad(1, 0)),
+		add(c.Quad(1, 1), tmp.Quad(1, 1)),
+	)
+}
+
+// SerialMult computes C += A*B depth-first with no forks and no
+// temporaries, accumulating the two products into each C quadrant in
+// sequence — the "serial C version written with function calls instead
+// of forks" whose space equals the input matrices.
+func SerialMult(t *pthread.T, a, b, c *Matrix, leaf int) {
+	n := a.N
+	if n <= leaf || n%2 != 0 {
+		serialMultAdd(t, a, b, c)
+		return
+	}
+	a11, a12, a21, a22 := a.Quad(0, 0), a.Quad(0, 1), a.Quad(1, 0), a.Quad(1, 1)
+	b11, b12, b21, b22 := b.Quad(0, 0), b.Quad(0, 1), b.Quad(1, 0), b.Quad(1, 1)
+	c11, c12, c21, c22 := c.Quad(0, 0), c.Quad(0, 1), c.Quad(1, 0), c.Quad(1, 1)
+	SerialMult(t, a11, b11, c11, leaf)
+	SerialMult(t, a12, b21, c11, leaf)
+	SerialMult(t, a11, b12, c12, leaf)
+	SerialMult(t, a12, b22, c12, leaf)
+	SerialMult(t, a21, b11, c21, leaf)
+	SerialMult(t, a22, b21, c21, leaf)
+	SerialMult(t, a21, b12, c22, leaf)
+	SerialMult(t, a22, b22, c22, leaf)
+}
+
+// Config parameterizes a matrix-multiply program.
+type Config struct {
+	// N is the matrix dimension (default 512; the paper used 1024).
+	N int
+	// Leaf is the serial cutoff (default 64).
+	Leaf int
+	// Seed drives input generation.
+	Seed int64
+	// Check verifies a few result elements against a direct dot product
+	// after the multiply (adds real time, no virtual time).
+	Check bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 512
+	}
+	if c.Leaf == 0 {
+		c.Leaf = DefaultLeaf
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Fine returns the fine-grained program: allocate inputs, multiply with
+// the Figure 4 fork-per-call algorithm.
+func Fine(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) {
+		a, b, c := inputs(t, cfg)
+		ParallelMultAdd(t, a, b, c, cfg.Leaf)
+		if cfg.Check {
+			check(t, a, b, c)
+		}
+	}
+}
+
+// Serial returns the sequential baseline program.
+func Serial(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) {
+		a, b, c := inputs(t, cfg)
+		SerialMult(t, a, b, c, cfg.Leaf)
+		if cfg.Check {
+			check(t, a, b, c)
+		}
+	}
+}
+
+func inputs(t *pthread.T, cfg Config) (a, b, c *Matrix) {
+	a, b, c = New(t, cfg.N), New(t, cfg.N), New(t, cfg.N)
+	a.FillRandom(t, cfg.Seed)
+	b.FillRandom(t, cfg.Seed+1)
+	c.Zero(t)
+	return a, b, c
+}
+
+// check compares a deterministic sample of result elements against
+// direct dot products; mismatches panic (failing the run).
+func check(t *pthread.T, a, b, c *Matrix) {
+	n := a.N
+	rng := rand.New(rand.NewSource(7))
+	for s := 0; s < 16; s++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		var want float64
+		for k := 0; k < n; k++ {
+			want += a.At(i, k) * b.At(k, j)
+		}
+		got := c.At(i, j)
+		if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+			panic("matmul: result mismatch")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package matmul_test
+
+import (
+	"testing"
+
+	"spthreads/internal/matmul"
+	"spthreads/pthread"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyLIFO, pthread.PolicyADF, pthread.PolicyWS} {
+		cfg := matmul.Config{N: 128, Leaf: 32, Check: true}
+		if _, err := pthread.Run(pthread.Config{Procs: 4, Policy: pol}, matmul.Fine(cfg)); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+	}
+}
+
+func TestSerialProgram(t *testing.T) {
+	cfg := matmul.Config{N: 128, Leaf: 32, Check: true}
+	st, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyADF}, matmul.Serial(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ThreadsCreated != 1 {
+		t.Errorf("serial program created %d threads, want 1", st.ThreadsCreated)
+	}
+	// The serial program allocates no temporaries: its heap footprint is
+	// the three input matrices.
+	want := int64(3 * 128 * 128 * 8)
+	if st.HeapHWM < want || st.HeapHWM > want+4096 {
+		t.Errorf("serial heap HWM = %d, want ~%d", st.HeapHWM, want)
+	}
+}
+
+// TestBreadthFirstExplosion reproduces Section 3.1's observation: the
+// FIFO scheduler makes the number of simultaneously live threads explode
+// and the heap footprint grow far beyond serial, while ADF keeps both
+// near the serial depth-first execution.
+func TestBreadthFirstExplosion(t *testing.T) {
+	cfg := matmul.Config{N: 512, Leaf: 32} // fork-tree depth 4, like the paper's 1024/64
+	fifo, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyFIFO, DefaultStack: pthread.SmallStackSize}, matmul.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adf, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}, matmul.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.PeakLive < 10*adf.PeakLive {
+		t.Errorf("peak live: fifo=%d adf=%d, expected >=10x gap", fifo.PeakLive, adf.PeakLive)
+	}
+	if fifo.HeapHWM < 2*adf.HeapHWM {
+		t.Errorf("heap HWM: fifo=%d adf=%d, expected >=2x gap", fifo.HeapHWM, adf.HeapHWM)
+	}
+}
+
+func TestQuadViews(t *testing.T) {
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		m := matmul.New(tt, 4)
+		v := 0.0
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				m.Set(i, j, v)
+				v++
+			}
+		}
+		if got := m.Quad(0, 0).At(0, 0); got != 0 {
+			t.Errorf("Quad(0,0)[0,0] = %v, want 0", got)
+		}
+		if got := m.Quad(0, 1).At(0, 0); got != 2 {
+			t.Errorf("Quad(0,1)[0,0] = %v, want 2", got)
+		}
+		if got := m.Quad(1, 0).At(1, 1); got != 13 {
+			t.Errorf("Quad(1,0)[1,1] = %v, want 13", got)
+		}
+		if got := m.Quad(1, 1).At(1, 1); got != 15 {
+			t.Errorf("Quad(1,1)[1,1] = %v, want 15", got)
+		}
+		m.Free(tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrassenMatchesClassic: Strassen's seven-product recursion gives
+// the same result as the classic multiply.
+func TestStrassenMatchesClassic(t *testing.T) {
+	for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyADF, pthread.PolicyDFD} {
+		cfg := matmul.Config{N: 128, Leaf: 32, Check: true}
+		if _, err := pthread.Run(pthread.Config{Procs: 4, Policy: pol}, matmul.Strassen(cfg)); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+	}
+}
+
+// TestStrassenFewerLeafMultiplies: Strassen performs 7^k leaf products
+// against the classic algorithm's 8^k, visible as less charged work.
+func TestStrassenFewerLeafMultiplies(t *testing.T) {
+	cfg := matmul.Config{N: 256, Leaf: 32}
+	classic, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}, matmul.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strassen, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}, matmul.Strassen(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At N/leaf = 8 the leaf-product counts are 8^3 = 512 vs 7^3 = 343;
+	// Strassen's extra additions eat some of the margin but the work
+	// must still be clearly lower.
+	if float64(strassen.Work) > 0.9*float64(classic.Work) {
+		t.Errorf("strassen work %v not clearly below classic %v", strassen.Work, classic.Work)
+	}
+}

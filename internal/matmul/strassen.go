@@ -1,0 +1,165 @@
+package matmul
+
+import "spthreads/pthread"
+
+// Strassen's matrix multiplication, the paper's Section 3 aside: "the
+// more complex but asymptotically faster Strassen's matrix multiply can
+// also be implemented in a similar divide-and-conquer fashion with a few
+// extra lines of code; coding it with static partitioning is
+// significantly more difficult." Each of the seven recursive products is
+// forked as a thread; the scheduler balances the irregular tree.
+//
+// The classic seven products over quadrants (A11..A22, B11..B22):
+//
+//	M1 = (A11 + A22)(B11 + B22)
+//	M2 = (A21 + A22) B11
+//	M3 = A11 (B12 - B22)
+//	M4 = A22 (B21 - B11)
+//	M5 = (A11 + A12) B22
+//	M6 = (A21 - A11)(B11 + B12)
+//	M7 = (A12 - A22)(B21 + B22)
+//
+//	C11 = M1 + M4 - M5 + M7
+//	C12 = M3 + M5
+//	C21 = M2 + M4
+//	C22 = M1 - M2 + M3 + M6
+
+// StrassenMult computes C = A*B (C need not be zeroed; it is
+// overwritten) with Strassen recursion above the leaf size and the
+// standard serial kernel below it.
+func StrassenMult(t *pthread.T, a, b, c *Matrix, leaf int) {
+	n := a.N
+	if n <= leaf || n%2 != 0 {
+		c.Zero(t)
+		serialMultAdd(t, a, b, c)
+		return
+	}
+	h := n / 2
+	a11, a12, a21, a22 := a.Quad(0, 0), a.Quad(0, 1), a.Quad(1, 0), a.Quad(1, 1)
+	b11, b12, b21, b22 := b.Quad(0, 0), b.Quad(0, 1), b.Quad(1, 0), b.Quad(1, 1)
+	c11, c12, c21, c22 := c.Quad(0, 0), c.Quad(0, 1), c.Quad(1, 0), c.Quad(1, 1)
+
+	// Temporaries: seven product halves plus two operand scratches per
+	// product, allocated per recursion step (the dynamic allocation that
+	// exercises the space-efficient scheduler).
+	ms := make([]*Matrix, 7)
+	product := func(i int, mkA, mkB func(*pthread.T, *Matrix)) func(*pthread.T) {
+		return func(ct *pthread.T) {
+			ta := New(ct, h)
+			tb := New(ct, h)
+			mkA(ct, ta)
+			mkB(ct, tb)
+			m := New(ct, h)
+			ms[i] = m
+			StrassenMult(ct, ta, tb, m, leaf)
+			ta.Free(ct)
+			tb.Free(ct)
+		}
+	}
+	cp := func(src *Matrix) func(*pthread.T, *Matrix) {
+		return func(ct *pthread.T, dst *Matrix) { dst.copyFrom(ct, src) }
+	}
+	add := func(x, y *Matrix) func(*pthread.T, *Matrix) {
+		return func(ct *pthread.T, dst *Matrix) { dst.addInto(ct, x, y, 1) }
+	}
+	sub := func(x, y *Matrix) func(*pthread.T, *Matrix) {
+		return func(ct *pthread.T, dst *Matrix) { dst.addInto(ct, x, y, -1) }
+	}
+
+	t.Par(
+		product(0, add(a11, a22), add(b11, b22)), // M1
+		product(1, add(a21, a22), cp(b11)),       // M2
+		product(2, cp(a11), sub(b12, b22)),       // M3
+		product(3, cp(a22), sub(b21, b11)),       // M4
+		product(4, add(a11, a12), cp(b22)),       // M5
+		product(5, sub(a21, a11), add(b11, b12)), // M6
+		product(6, sub(a12, a22), add(b21, b22)), // M7
+	)
+
+	combine := func(dst *Matrix, terms ...struct {
+		m    *Matrix
+		sign float64
+	}) func(*pthread.T) {
+		return func(ct *pthread.T) {
+			for i := 0; i < h; i++ {
+				row := dst.data[i*dst.Stride : i*dst.Stride+h]
+				for j := range row {
+					var v float64
+					for _, tm := range terms {
+						v += tm.sign * tm.m.At(i, j)
+					}
+					row[j] = v
+				}
+			}
+			ct.Charge(int64(h) * int64(h) * int64(len(terms)) * CyclesPerFlop)
+			dst.touch(ct)
+		}
+	}
+	pos := func(m *Matrix) struct {
+		m    *Matrix
+		sign float64
+	} {
+		return struct {
+			m    *Matrix
+			sign float64
+		}{m, 1}
+	}
+	neg := func(m *Matrix) struct {
+		m    *Matrix
+		sign float64
+	} {
+		return struct {
+			m    *Matrix
+			sign float64
+		}{m, -1}
+	}
+	t.Par(
+		combine(c11, pos(ms[0]), pos(ms[3]), neg(ms[4]), pos(ms[6])),
+		combine(c12, pos(ms[2]), pos(ms[4])),
+		combine(c21, pos(ms[1]), pos(ms[3])),
+		combine(c22, pos(ms[0]), neg(ms[1]), pos(ms[2]), pos(ms[5])),
+	)
+	for _, m := range ms {
+		m.Free(t)
+	}
+}
+
+// copyFrom sets dst = src, charging the copy.
+func (m *Matrix) copyFrom(t *pthread.T, src *Matrix) {
+	n := m.N
+	for i := 0; i < n; i++ {
+		copy(m.data[i*m.Stride:i*m.Stride+n], src.data[i*src.Stride:i*src.Stride+n])
+	}
+	t.Charge(int64(n) * int64(n) * CyclesPerFlop)
+	src.touch(t)
+	m.touch(t)
+}
+
+// addInto sets dst = x + sign*y, charging the work.
+func (m *Matrix) addInto(t *pthread.T, x, y *Matrix, sign float64) {
+	n := m.N
+	for i := 0; i < n; i++ {
+		mi := m.data[i*m.Stride : i*m.Stride+n]
+		xi := x.data[i*x.Stride : i*x.Stride+n]
+		yi := y.data[i*y.Stride : i*y.Stride+n]
+		for j := range mi {
+			mi[j] = xi[j] + sign*yi[j]
+		}
+	}
+	t.Charge(int64(n) * int64(n) * CyclesPerFlop)
+	x.touch(t)
+	y.touch(t)
+	m.touch(t)
+}
+
+// Strassen returns the runnable Strassen program.
+func Strassen(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) {
+		a, b, c := inputs(t, cfg)
+		StrassenMult(t, a, b, c, cfg.Leaf)
+		if cfg.Check {
+			check(t, a, b, c)
+		}
+	}
+}

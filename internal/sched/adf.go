@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"spthreads/internal/core"
+
+	"spthreads/internal/vtime"
+)
+
+// adfPolicy is the paper's space-efficient scheduler, a variation of the
+// Narlikar–Blelloch AsyncDF algorithm implemented inside a Pthreads-style
+// library:
+//
+//   - Every created-but-not-exited thread keeps a placeholder entry in a
+//     globally ordered list that maintains the threads in their serial,
+//     depth-first execution order. Entries of blocked or executing
+//     threads simply have their ready flag cleared, so a woken or
+//     preempted thread resumes at exactly its serial position.
+//   - A forked child is inserted to the immediate left of its parent and
+//     the parent is preempted; the forking processor runs the child.
+//   - Processors always dispatch the leftmost ready thread (within the
+//     highest nonempty priority level; the paper's policy is prioritized).
+//   - Each time a thread is scheduled it receives a memory quota of K
+//     bytes; allocation draws the quota down and exhausting it preempts
+//     the thread. An allocation of m > K bytes first forks ~m/K no-op
+//     dummy threads (as a binary tree) to throttle allocation-hungry
+//     threads.
+//
+// The guarantee is S_1 + O(p·D) space on p processors for a computation
+// with serial space S_1 and critical path (depth) D.
+type adfPolicy struct {
+	quota   int64
+	dummies bool
+	lists   [core.NumPriorities]adfList
+	ready   int
+}
+
+// adfEntry is a thread's placeholder in the ordered list.
+type adfEntry struct {
+	t          *core.Thread
+	prev, next *adfEntry
+	ready      bool
+}
+
+// adfList is one priority level's ordered list. head is the leftmost
+// (earliest in serial order) entry.
+type adfList struct {
+	head, tail *adfEntry
+	ready      int
+}
+
+func newADF(quotaK int64, disableDummies bool) *adfPolicy {
+	return &adfPolicy{quota: quotaK, dummies: !disableDummies}
+}
+
+func (p *adfPolicy) Name() string { return "adf" }
+func (p *adfPolicy) Global() bool { return true }
+func (p *adfPolicy) Quota() int64 { return p.quota }
+
+func (p *adfPolicy) TimeSlice() vtime.Duration { return 0 }
+
+func (p *adfPolicy) AllocDummies(m int64) int {
+	if !p.dummies || p.quota <= 0 || m <= p.quota {
+		return 0
+	}
+	return int((m + p.quota - 1) / p.quota)
+}
+
+func (p *adfPolicy) list(t *core.Thread) *adfList { return &p.lists[t.Priority] }
+
+func (p *adfPolicy) OnCreate(parent, child *core.Thread) bool {
+	e := &adfEntry{t: child}
+	child.SchedState = e
+	l := p.list(child)
+	if parent == nil {
+		// Root thread: sole entry, runnable.
+		l.insertHead(e)
+		e.ready = true
+		l.ready++
+		p.ready++
+		return false
+	}
+	pe, ok := parent.SchedState.(*adfEntry)
+	if ok && parent.Priority == child.Priority {
+		// Immediately left of the parent: the child precedes the parent
+		// in the serial depth-first order.
+		l.insertBefore(e, pe)
+	} else {
+		// Cross-priority forks have no serial anchor in the child's
+		// level; the leftmost position is the conservative choice.
+		l.insertHead(e)
+	}
+	// The child runs immediately (not ready: it is about to execute) and
+	// the parent is preempted; the machine re-enters the parent through
+	// OnReady, which restores its ready flag in place.
+	return true
+}
+
+func (p *adfPolicy) OnReady(t *core.Thread, pid int) {
+	e := t.SchedState.(*adfEntry)
+	if !e.ready {
+		e.ready = true
+		p.list(t).ready++
+		p.ready++
+	}
+}
+
+func (p *adfPolicy) OnBlock(t *core.Thread) {
+	// A blocking thread was running, so its entry is already not-ready;
+	// the entry stays in place as the paper's placeholder.
+	e := t.SchedState.(*adfEntry)
+	if e.ready {
+		e.ready = false
+		p.list(t).ready--
+		p.ready--
+	}
+}
+
+func (p *adfPolicy) OnExit(t *core.Thread) {
+	e := t.SchedState.(*adfEntry)
+	if e.ready {
+		e.ready = false
+		p.list(t).ready--
+		p.ready--
+	}
+	p.list(t).remove(e)
+	t.SchedState = nil
+}
+
+func (p *adfPolicy) Next(pid int) *core.Thread {
+	if p.ready == 0 {
+		return nil
+	}
+	for pri := core.NumPriorities - 1; pri >= 0; pri-- {
+		l := &p.lists[pri]
+		if l.ready == 0 {
+			continue
+		}
+		for e := l.head; e != nil; e = e.next {
+			if e.ready {
+				e.ready = false
+				l.ready--
+				p.ready--
+				return e.t
+			}
+		}
+	}
+	return nil
+}
+
+// Live returns the number of entries across all levels (for tests).
+func (p *adfPolicy) Live() int {
+	n := 0
+	for i := range p.lists {
+		for e := p.lists[i].head; e != nil; e = e.next {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *adfList) insertHead(e *adfEntry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *adfList) insertBefore(e, at *adfEntry) {
+	e.prev = at.prev
+	e.next = at
+	if at.prev != nil {
+		at.prev.next = e
+	} else {
+		l.head = e
+	}
+	at.prev = e
+}
+
+func (l *adfList) remove(e *adfEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,98 @@
+package sched_test
+
+import (
+	"testing"
+
+	"spthreads/internal/matmul"
+	"spthreads/internal/volrend"
+	"spthreads/pthread"
+)
+
+// TestDFDRunsCorrectly: the DFD scheduler executes fork/join programs
+// correctly across processor counts.
+func TestDFDRunsCorrectly(t *testing.T) {
+	order := execOrder(t, pthread.PolicyDFD, 5)
+	if len(order) != 5 {
+		t.Fatalf("dfd ran %d threads, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("dfd executed %v, want child-first creation order", order)
+		}
+	}
+	cfg := matmul.Config{N: 128, Leaf: 32, Check: true}
+	for _, procs := range []int{1, 3, 8} {
+		if _, err := pthread.Run(pthread.Config{Procs: procs, Policy: pthread.PolicyDFD}, matmul.Fine(cfg)); err != nil {
+			t.Fatalf("p=%d: %v", procs, err)
+		}
+	}
+}
+
+// TestDFDSpaceStaysBounded: DFD keeps a near-depth-first footprint on
+// the matrix multiply, far below FIFO's.
+func TestDFDSpaceStaysBounded(t *testing.T) {
+	cfg := matmul.Config{N: 512, Leaf: 32}
+	dfd, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyDFD, DefaultStack: pthread.SmallStackSize}, matmul.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyFIFO, DefaultStack: pthread.SmallStackSize}, matmul.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfd.HeapHWM*2 > fifo.HeapHWM {
+		t.Errorf("dfd heap %d not well below fifo %d", dfd.HeapHWM, fifo.HeapHWM)
+	}
+	if dfd.PeakLive*10 > fifo.PeakLive {
+		t.Errorf("dfd peak live %d not well below fifo %d", dfd.PeakLive, fifo.PeakLive)
+	}
+}
+
+// TestDFDLocalityAtFineGranularity: the point of the future-work
+// scheduler — at fine thread granularity, keeping consecutive threads
+// on one processor preserves TLB state, so DFD beats the ordered-list
+// ADF scheduler (Figure 11's downslope flattens).
+func TestDFDLocalityAtFineGranularity(t *testing.T) {
+	cfg := volrend.Config{
+		// The volume must exceed the 64-entry TLB's 512 KB reach or
+		// there is no locality to preserve: 128^3 = 2 MB = 256 pages.
+		Gen:            volrend.GenConfig{W: 128},
+		ImageSize:      128,
+		Frames:         1,
+		TilesPerThread: 4, // very fine: 256 threads for 1024 tiles
+	}
+	// Tree-structured forking: locality-aware scheduling keeps a
+	// subtree's tiles on the forking processor; flat forking has no
+	// structure for any scheduler to exploit.
+	adf, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}, volrend.FineTree(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfd, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyDFD, DefaultStack: pthread.SmallStackSize}, volrend.FineTree(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfd.Time > adf.Time {
+		t.Errorf("dfd (%v) not faster than adf (%v) at fine granularity", dfd.Time, adf.Time)
+	}
+	if dfd.Mem.TLBMisses >= adf.Mem.TLBMisses {
+		t.Errorf("dfd TLB misses %d not below adf %d", dfd.Mem.TLBMisses, adf.Mem.TLBMisses)
+	}
+}
+
+// TestDFDDeterminism: DFD is deterministic like the other policies.
+func TestDFDDeterminism(t *testing.T) {
+	cfg := matmul.Config{N: 256, Leaf: 32}
+	run := func() pthread.Stats {
+		st, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyDFD, DefaultStack: pthread.SmallStackSize}, matmul.Fine(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.Time != b.Time || a.HeapHWM != b.HeapHWM || a.PeakLive != b.PeakLive {
+		t.Errorf("dfd nondeterministic: %v/%d/%d vs %v/%d/%d",
+			a.Time, a.HeapHWM, a.PeakLive, b.Time, b.HeapHWM, b.PeakLive)
+	}
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"spthreads/internal/core"
+	"spthreads/internal/vtime"
+)
+
+// rrPolicy implements SCHED_RR, the second well-defined POSIX policy
+// the paper's Section 2.1 discusses: a prioritized global FIFO queue in
+// which a running thread is involuntarily preempted after its time
+// slice expires and reinserted at its priority level's tail, so equal-
+// priority threads share the processors fairly even when they never
+// block.
+//
+// It is provided for library completeness (and contrast: round-robin
+// interleaving is the worst possible discipline for the paper's
+// space-efficiency goal, since it keeps every thread partially done).
+type rrPolicy struct {
+	l     levels
+	slice vtime.Duration
+}
+
+// DefaultTimeSlice is the SCHED_RR quantum (10 virtual ms, a common
+// kernel default).
+var DefaultTimeSlice = vtime.Micro(10_000)
+
+func newRR(slice vtime.Duration) *rrPolicy {
+	if slice <= 0 {
+		slice = DefaultTimeSlice
+	}
+	return &rrPolicy{slice: slice}
+}
+
+func (p *rrPolicy) Name() string { return "rr" }
+func (p *rrPolicy) Global() bool { return true }
+func (p *rrPolicy) Quota() int64 { return 0 }
+
+func (p *rrPolicy) TimeSlice() vtime.Duration { return p.slice }
+
+func (p *rrPolicy) AllocDummies(int64) int { return 0 }
+
+func (p *rrPolicy) OnCreate(parent, child *core.Thread) bool {
+	p.l.push(child)
+	return false
+}
+
+func (p *rrPolicy) OnReady(t *core.Thread, pid int) { p.l.push(t) }
+func (p *rrPolicy) OnBlock(*core.Thread)            {}
+func (p *rrPolicy) OnExit(*core.Thread)             {}
+func (p *rrPolicy) Next(pid int) *core.Thread       { return p.l.next(false) }

@@ -1,0 +1,98 @@
+// Package sched implements the ready-thread scheduling policies studied
+// in the paper: the original Solaris FIFO queue, the LIFO modification,
+// the space-efficient ADF scheduler (the paper's contribution), and a
+// Cilk-style work-stealing baseline used for the space-bound ablation.
+//
+// Policies satisfy core.Policy and are invoked with the machine
+// serialized; they keep no locks. Scheduler-lock *costs* for the
+// global-queue policies are modeled by the machine (Policy.Global).
+package sched
+
+import (
+	"fmt"
+
+	"spthreads/internal/core"
+	"spthreads/internal/vtime"
+)
+
+// Kind selects a policy by name.
+type Kind string
+
+// Supported policy kinds.
+const (
+	FIFO Kind = "fifo" // original Solaris SCHED_OTHER queue
+	LIFO Kind = "lifo" // LIFO modification (paper §4 item 1)
+	ADF  Kind = "adf"  // space-efficient scheduler (paper §4 item 2)
+	WS   Kind = "ws"   // Cilk-style work stealing (related-work baseline)
+	DFD  Kind = "dfd"  // simplified DFDeques: space efficiency + locality (paper §6 future work)
+	RR   Kind = "rr"   // POSIX SCHED_RR: prioritized FIFO with time slicing (paper §2.1)
+)
+
+// Options carries policy-specific parameters.
+type Options struct {
+	// MemQuota is ADF's per-schedule allocation quota K in bytes
+	// (default 128 KB). Ignored by other policies.
+	MemQuota int64
+	// DisableDummies turns off ADF's dummy-thread throttling (for the
+	// abl-dummy ablation).
+	DisableDummies bool
+	// Procs is the processor count (required by WS for its deques).
+	Procs int
+	// Seed drives WS victim selection (default 1).
+	Seed int64
+	// TimeSlice is RR's round-robin quantum (default 10 virtual ms).
+	TimeSlice vtime.Duration
+}
+
+// DefaultMemQuota is ADF's default K.
+const DefaultMemQuota int64 = 128 << 10
+
+// New constructs a policy of the given kind.
+func New(kind Kind, opt Options) (core.Policy, error) {
+	switch kind {
+	case FIFO:
+		return newFIFO(), nil
+	case LIFO:
+		return newLIFO(), nil
+	case ADF:
+		k := opt.MemQuota
+		if k == 0 {
+			k = DefaultMemQuota
+		}
+		return newADF(k, opt.DisableDummies), nil
+	case WS:
+		if opt.Procs <= 0 {
+			opt.Procs = 1
+		}
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return newWS(opt.Procs, seed), nil
+	case DFD:
+		if opt.Procs <= 0 {
+			opt.Procs = 1
+		}
+		k := opt.MemQuota
+		if k == 0 {
+			k = DefaultMemQuota
+		}
+		return newDFD(opt.Procs, k, opt.DisableDummies), nil
+	case RR:
+		return newRR(opt.TimeSlice), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", kind)
+	}
+}
+
+// MustNew is New for static configurations.
+func MustNew(kind Kind, opt Options) core.Policy {
+	p, err := New(kind, opt)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Kinds lists every policy kind.
+func Kinds() []Kind { return []Kind{FIFO, LIFO, ADF, WS, DFD, RR} }

@@ -1,0 +1,140 @@
+package spmv_test
+
+import (
+	"testing"
+
+	"spthreads/internal/spmv"
+	"spthreads/pthread"
+)
+
+func small() spmv.Config {
+	return spmv.Config{
+		Gen:        spmv.GenConfig{Nodes: 3000, TargetNNZ: 15000},
+		Iterations: 3,
+		Check:      true,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		m := spmv.Generate(tt, spmv.GenConfig{})
+		if m.Rows != 30169 {
+			t.Errorf("rows = %d, want 30169", m.Rows)
+		}
+		nnz := m.NNZ()
+		if nnz < 120000 || nnz > 190000 {
+			t.Errorf("nnz = %d, want ~151239", nnz)
+		}
+		// CSR invariants.
+		if m.RowPtr[0] != 0 || int(m.RowPtr[m.Rows]) != nnz {
+			t.Errorf("rowptr endpoints wrong: %d %d", m.RowPtr[0], m.RowPtr[m.Rows])
+		}
+		for i := 0; i < m.Rows; i++ {
+			if m.RowPtr[i] > m.RowPtr[i+1] {
+				t.Fatalf("rowptr not monotone at %d", i)
+			}
+		}
+		for _, c := range m.Cols {
+			if c < 0 || int(c) >= m.Rows {
+				t.Fatalf("column %d out of range", c)
+			}
+		}
+		m.Free(tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionsAgree(t *testing.T) {
+	cfg := small()
+	if _, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, spmv.Serial(cfg)); err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyADF, pthread.PolicyWS} {
+		cfg.FineThreads = 16
+		if _, err := pthread.Run(pthread.Config{Procs: 4, Policy: pol}, spmv.Fine(cfg)); err != nil {
+			t.Fatalf("fine %s: %v", pol, err)
+		}
+	}
+	cfg.Procs = 4
+	if _, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, spmv.Coarse(cfg)); err != nil {
+		t.Fatalf("coarse: %v", err)
+	}
+}
+
+// TestCoarseThreadCount: the coarse version creates exactly procs
+// threads (plus root) for the whole run.
+func TestCoarseThreadCount(t *testing.T) {
+	cfg := small()
+	cfg.Check = false
+	cfg.Procs = 4
+	st, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, spmv.Coarse(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.ThreadsCreated - st.DummyThreads; got != 5 {
+		t.Errorf("threads = %d (excluding dummies), want 5 (root + 4 workers)", got)
+	}
+}
+
+// TestFineThreadCount: the fine version creates FineThreads threads per
+// iteration.
+func TestFineThreadCount(t *testing.T) {
+	cfg := small()
+	cfg.Check = false
+	cfg.FineThreads = 10
+	st, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, spmv.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1 + cfg.Iterations*10)
+	if got := st.ThreadsCreated - st.DummyThreads; got != want {
+		t.Errorf("threads = %d (excluding dummies), want %d", got, want)
+	}
+}
+
+// TestBalanceByNNZ: the coarse partition equalizes nonzeros per range.
+func TestBalanceByNNZ(t *testing.T) {
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, func(tt *pthread.T) {
+		m := spmv.Generate(tt, spmv.GenConfig{Nodes: 8000, TargetNNZ: 40000})
+		const p = 8
+		bounds := spmv.BalanceByNNZ(m, p)
+		if len(bounds) != p+1 || bounds[0] != 0 || bounds[p] != m.Rows {
+			t.Fatalf("bad bounds %v", bounds)
+		}
+		total := m.NNZ()
+		for z := 0; z < p; z++ {
+			zn := int(m.RowPtr[bounds[z+1]] - m.RowPtr[bounds[z]])
+			share := float64(zn) / float64(total)
+			if share < 0.09 || share > 0.16 {
+				t.Errorf("range %d holds %.3f of nonzeros, want ~0.125", z, share)
+			}
+		}
+		m.Free(tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeneratorDeterminism: same seed, same matrix.
+func TestGeneratorDeterminism(t *testing.T) {
+	sum := func() int64 {
+		var s int64
+		_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, func(tt *pthread.T) {
+			m := spmv.Generate(tt, spmv.GenConfig{Nodes: 5000, TargetNNZ: 25000})
+			for i, c := range m.Cols {
+				s += int64(c) * int64(i%13+1)
+			}
+			m.Free(tt)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if a, b := sum(), sum(); a != b {
+		t.Errorf("generator nondeterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,199 @@
+// Package trace records scheduler events from a simulated run and
+// renders them for inspection — per-processor Gantt charts and
+// per-thread summaries. Tracing is off unless a Recorder is attached to
+// the machine's configuration; it does not perturb virtual time.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spthreads/internal/vtime"
+)
+
+// Kind classifies a scheduler event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindCreate Kind = iota
+	KindDispatch
+	KindPreempt
+	KindBlock
+	KindWake
+	KindExit
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindCreate:
+		return "create"
+	case KindDispatch:
+		return "dispatch"
+	case KindPreempt:
+		return "preempt"
+	case KindBlock:
+		return "block"
+	case KindWake:
+		return "wake"
+	case KindExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduler occurrence.
+type Event struct {
+	At     vtime.Time
+	Proc   int // processor involved, -1 if none
+	Thread int64
+	Kind   Kind
+}
+
+// Recorder collects events up to a cap (oldest kept; a full recorder
+// drops further events and counts them).
+type Recorder struct {
+	cap     int
+	events  []Event
+	dropped int64
+}
+
+// NewRecorder creates a recorder holding up to capacity events
+// (0 selects 1<<20).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Record appends an event. It is called from the machine coordinator
+// (serialized), so no locking is needed.
+func (r *Recorder) Record(at vtime.Time, proc int, thread int64, kind Kind) {
+	if len(r.events) >= r.cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{At: at, Proc: proc, Thread: thread, Kind: kind})
+}
+
+// Events returns the recorded events in record order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped reports how many events exceeded the capacity.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Gantt renders processor occupancy over time as text: one row per
+// processor, one column per time bucket, showing the thread id (mod 62,
+// base-62 encoded) occupying the processor for the majority of each
+// bucket, '.' for idle.
+func (r *Recorder) Gantt(procs int, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if len(r.events) == 0 {
+		return "(no events)\n"
+	}
+	end := r.events[len(r.events)-1].At
+	if end == 0 {
+		end = 1
+	}
+	bucket := float64(end) / float64(width)
+
+	// Build per-proc occupancy segments from dispatch/preempt/block/exit.
+	type seg struct {
+		from, to vtime.Time
+		thread   int64
+	}
+	cur := make(map[int]*seg)
+	segsByProc := make(map[int][]seg)
+	for _, e := range r.events {
+		switch e.Kind {
+		case KindDispatch:
+			if s := cur[e.Proc]; s != nil {
+				s.to = e.At
+				segsByProc[e.Proc] = append(segsByProc[e.Proc], *s)
+			}
+			cur[e.Proc] = &seg{from: e.At, thread: e.Thread}
+		case KindPreempt, KindBlock, KindExit:
+			if s := cur[e.Proc]; s != nil && s.thread == e.Thread {
+				s.to = e.At
+				segsByProc[e.Proc] = append(segsByProc[e.Proc], *s)
+				delete(cur, e.Proc)
+			}
+		}
+	}
+	for p, s := range cur {
+		s.to = end
+		segsByProc[p] = append(segsByProc[p], *s)
+	}
+
+	const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt: %d buckets of %s each\n", width, vtime.Duration(bucket))
+	for p := 0; p < procs; p++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range segsByProc[p] {
+			lo := int(float64(s.from) / bucket)
+			hi := int(float64(s.to) / bucket)
+			if hi >= width {
+				hi = width - 1
+			}
+			g := glyphs[int(s.thread)%len(glyphs)]
+			for i := lo; i <= hi; i++ {
+				row[i] = g
+			}
+		}
+		fmt.Fprintf(&b, "p%-2d |%s|\n", p, row)
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "(%d events dropped)\n", r.dropped)
+	}
+	return b.String()
+}
+
+// ThreadStats summarizes one thread's scheduling history.
+type ThreadStats struct {
+	Thread     int64
+	Dispatches int
+	Created    vtime.Time
+	Exited     vtime.Time
+	Lifetime   vtime.Duration
+}
+
+// Summary aggregates per-thread statistics, sorted by thread id.
+func (r *Recorder) Summary() []ThreadStats {
+	m := make(map[int64]*ThreadStats)
+	get := func(id int64) *ThreadStats {
+		s := m[id]
+		if s == nil {
+			s = &ThreadStats{Thread: id}
+			m[id] = s
+		}
+		return s
+	}
+	for _, e := range r.events {
+		s := get(e.Thread)
+		switch e.Kind {
+		case KindCreate:
+			s.Created = e.At
+		case KindDispatch:
+			s.Dispatches++
+		case KindExit:
+			s.Exited = e.At
+			s.Lifetime = vtime.Duration(s.Exited - s.Created)
+		}
+	}
+	out := make([]ThreadStats, 0, len(m))
+	for _, s := range m {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
+	return out
+}

@@ -1,0 +1,150 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"spthreads/internal/trace"
+	"spthreads/pthread"
+)
+
+func traceRun(t *testing.T, pol pthread.Policy) *trace.Recorder {
+	t.Helper()
+	rec := trace.NewRecorder(0)
+	_, err := pthread.Run(pthread.Config{Procs: 2, Policy: pol, Tracer: rec}, func(tt *pthread.T) {
+		var mu pthread.Mutex
+		tt.Par(
+			func(ct *pthread.T) {
+				mu.Lock(ct)
+				ct.Charge(5000)
+				mu.Unlock(ct)
+			},
+			func(ct *pthread.T) {
+				mu.Lock(ct)
+				ct.Charge(5000)
+				mu.Unlock(ct)
+			},
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestEventLifecycle: every created thread gets create, >=1 dispatch,
+// and exactly one exit; event times never go backwards per processor.
+func TestEventLifecycle(t *testing.T) {
+	rec := traceRun(t, pthread.PolicyADF)
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	creates := map[int64]int{}
+	dispatches := map[int64]int{}
+	exits := map[int64]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindCreate:
+			creates[e.Thread]++
+		case trace.KindDispatch:
+			dispatches[e.Thread]++
+		case trace.KindExit:
+			exits[e.Thread]++
+		}
+	}
+	if len(creates) != 3 { // root + 2 children
+		t.Errorf("created threads = %d, want 3", len(creates))
+	}
+	for id := range creates {
+		if creates[id] != 1 {
+			t.Errorf("thread %d created %d times", id, creates[id])
+		}
+		if dispatches[id] == 0 {
+			t.Errorf("thread %d never dispatched", id)
+		}
+		if exits[id] != 1 {
+			t.Errorf("thread %d exited %d times", id, exits[id])
+		}
+	}
+}
+
+// TestBlockedThreadsRecordWake: contended mutexes produce block + wake
+// pairs.
+func TestBlockedThreadsRecordWake(t *testing.T) {
+	rec := traceRun(t, pthread.PolicyADF)
+	var blocks, wakes int
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.KindBlock:
+			blocks++
+		case trace.KindWake:
+			wakes++
+		}
+	}
+	if blocks == 0 || wakes == 0 {
+		t.Errorf("blocks=%d wakes=%d; expected contention events", blocks, wakes)
+	}
+}
+
+// TestGanttRenders: the chart has one row per processor and sane width.
+func TestGanttRenders(t *testing.T) {
+	rec := traceRun(t, pthread.PolicyFIFO)
+	out := rec.Gantt(2, 40)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 procs
+		t.Fatalf("gantt has %d lines, want 3:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "|") {
+			t.Errorf("gantt row missing bars: %q", l)
+		}
+	}
+}
+
+// TestSummaryAggregates: per-thread summaries reflect the lifecycle.
+func TestSummaryAggregates(t *testing.T) {
+	rec := traceRun(t, pthread.PolicyADF)
+	sum := rec.Summary()
+	if len(sum) != 3 {
+		t.Fatalf("summary has %d threads, want 3", len(sum))
+	}
+	for _, s := range sum {
+		if s.Dispatches == 0 {
+			t.Errorf("thread %d: zero dispatches in summary", s.Thread)
+		}
+		if s.Exited < s.Created {
+			t.Errorf("thread %d exited before created", s.Thread)
+		}
+	}
+}
+
+// TestRecorderCap: events beyond the capacity are counted as dropped.
+func TestRecorderCap(t *testing.T) {
+	rec := trace.NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.Record(0, 0, int64(i), trace.KindCreate)
+	}
+	if len(rec.Events()) != 4 {
+		t.Errorf("kept %d events, want 4", len(rec.Events()))
+	}
+	if rec.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", rec.Dropped())
+	}
+}
+
+// TestKindString covers the event-kind names.
+func TestKindString(t *testing.T) {
+	for k, want := range map[trace.Kind]string{
+		trace.KindCreate:   "create",
+		trace.KindDispatch: "dispatch",
+		trace.KindPreempt:  "preempt",
+		trace.KindBlock:    "block",
+		trace.KindWake:     "wake",
+		trace.KindExit:     "exit",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,666 @@
+// Package volrend implements the paper's Splash-2-style volume
+// rendering benchmark: a ray caster over a voxel volume with a
+// hierarchical min-max structure for empty-space skipping, parallelized
+// across 4x4-pixel tiles of the image plane. Rays terminate early once
+// opacity saturates, so per-tile work is highly nonuniform.
+//
+// The paper rendered a 256^3 computed-tomography head; a procedural
+// volume of nested ellipsoid shells ("skull" and "brain") plus smooth
+// noise reproduces the property that matters here — nonuniform ray work
+// across the image — without the original dataset.
+//
+// Three versions mirror the paper: a serial renderer; the original
+// coarse-grained code (one thread per processor, per-processor tile
+// queues with task stealing, built from explicit pthread mutexes); and
+// the fine-grained rewrite (one thread per group of tiles, scheduler
+// balances the load).
+package volrend
+
+import (
+	"math"
+
+	"spthreads/pthread"
+)
+
+// CyclesPerSample is the virtual cost of one trilinear sample and
+// compositing step.
+const CyclesPerSample = 30
+
+// TileSize is the tile edge in pixels (4, as in Splash-2).
+const TileSize = 4
+
+// DensityThreshold is the minimum density that contributes opacity.
+const DensityThreshold = 40
+
+// Volume is a cubic density field with a block min-max skip structure.
+type Volume struct {
+	W      int
+	data   []uint8
+	alloc  pthread.Alloc
+	block  int // skip-block edge (8)
+	nb     int // blocks per axis
+	maxBlk []uint8
+	// DisableSkip turns off empty-space skipping (for correctness
+	// tests: skipping must not change the image, only the sample
+	// count).
+	DisableSkip bool
+}
+
+// At returns the density at integer coordinates, 0 outside.
+func (v *Volume) At(x, y, z int) uint8 {
+	if x < 0 || y < 0 || z < 0 || x >= v.W || y >= v.W || z >= v.W {
+		return 0
+	}
+	return v.data[(z*v.W+y)*v.W+x]
+}
+
+// voxelOffset returns the byte offset of (x,y,z) in the allocation.
+func (v *Volume) voxelOffset(x, y, z int) int64 {
+	return int64((z*v.W+y)*v.W + x)
+}
+
+// GenConfig parameterizes the procedural volume.
+type GenConfig struct {
+	// W is the volume edge (default 128; the paper used 256).
+	W int
+	// Seed drives the procedural noise.
+	Seed int64
+}
+
+// Generate builds the procedural head-like volume and its min-max skip
+// structure, charging generation work and touches.
+func Generate(t *pthread.T, g GenConfig) *Volume {
+	if g.W == 0 {
+		g.W = 128
+	}
+	if g.Seed == 0 {
+		g.Seed = 31
+	}
+	w := g.W
+	v := &Volume{
+		W:     w,
+		data:  make([]uint8, w*w*w),
+		alloc: t.Malloc(int64(w) * int64(w) * int64(w)),
+		block: 8,
+	}
+	v.nb = (w + v.block - 1) / v.block
+	v.maxBlk = make([]uint8, v.nb*v.nb*v.nb)
+
+	c := float64(w) / 2
+	// Ellipsoid radii as fractions of the volume: outer skull shell,
+	// inner brain mass, two denser "sinus" pockets.
+	for z := 0; z < w; z++ {
+		for y := 0; y < w; y++ {
+			for x := 0; x < w; x++ {
+				dx := (float64(x) - c) / c
+				dy := (float64(y) - c) / (0.85 * c)
+				dz := (float64(z) - c) / (0.75 * c)
+				r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				var d float64
+				switch {
+				case r > 0.95:
+					d = 0 // air
+				case r > 0.82:
+					d = 220 // skull shell
+				case r > 0.78:
+					d = 30 // CSF gap
+				default:
+					// brain: medium density with smooth variation
+					d = 90 + 40*math.Sin(float64(x)/9+hash01(g.Seed)*6)*
+						math.Cos(float64(y)/11)*math.Sin(float64(z)/7)
+				}
+				val := uint8(math.Max(0, math.Min(255, d)))
+				v.data[(z*w+y)*w+x] = val
+				bi := (z/v.block*v.nb+y/v.block)*v.nb + x/v.block
+				if val > v.maxBlk[bi] {
+					v.maxBlk[bi] = val
+				}
+			}
+		}
+	}
+	// The paper excludes this preprocessing (reading the volume and
+	// building the octree) from its timings.
+	t.Prefault(v.alloc)
+	return v
+}
+
+func hash01(seed int64) float64 {
+	x := uint64(seed) * 0x9E3779B97F4A7C15
+	x ^= x >> 33
+	return float64(x%1000) / 1000
+}
+
+// blockEmpty reports whether the skip block containing voxel (x,y,z)
+// has no density above the threshold.
+func (v *Volume) blockEmpty(x, y, z int) bool {
+	if x < 0 || y < 0 || z < 0 || x >= v.W || y >= v.W || z >= v.W {
+		return true
+	}
+	bi := (z/v.block*v.nb+y/v.block)*v.nb + x/v.block
+	return v.maxBlk[bi] < DensityThreshold
+}
+
+// sampleSkippable reports whether a sample at the continuous position
+// contributes nothing: both corners of its trilinear support must lie
+// in empty blocks (the support may straddle a block boundary).
+func (v *Volume) sampleSkippable(x, y, z float64) bool {
+	if v.DisableSkip {
+		return false
+	}
+	x0, y0, z0 := int(math.Floor(x)), int(math.Floor(y)), int(math.Floor(z))
+	return v.blockEmpty(x0, y0, z0) && v.blockEmpty(x0+1, y0+1, z0+1)
+}
+
+// blockExitDistance returns how far along the (unit) direction the ray
+// can travel from the given position before leaving the current skip
+// block — the geometrically exact empty-space jump.
+func (v *Volume) blockExitDistance(x, y, z, dx, dy, dz float64) float64 {
+	exit := math.Inf(1)
+	axis := func(pos, dir float64) {
+		const eps = 1e-12
+		if dir > eps {
+			b := (math.Floor(pos/float64(v.block)) + 1) * float64(v.block)
+			if d := (b - pos) / dir; d < exit {
+				exit = d
+			}
+		} else if dir < -eps {
+			b := math.Floor(pos/float64(v.block)) * float64(v.block)
+			if d := (b - pos) / dir; d < exit {
+				exit = d
+			}
+		}
+	}
+	axis(x, dx)
+	axis(y, dy)
+	axis(z, dz)
+	return exit
+}
+
+// trilinear samples the density at a continuous position.
+func (v *Volume) trilinear(x, y, z float64) float64 {
+	x0, y0, z0 := int(math.Floor(x)), int(math.Floor(y)), int(math.Floor(z))
+	fx, fy, fz := x-float64(x0), y-float64(y0), z-float64(z0)
+	c000 := float64(v.At(x0, y0, z0))
+	c100 := float64(v.At(x0+1, y0, z0))
+	c010 := float64(v.At(x0, y0+1, z0))
+	c110 := float64(v.At(x0+1, y0+1, z0))
+	c001 := float64(v.At(x0, y0, z0+1))
+	c101 := float64(v.At(x0+1, y0, z0+1))
+	c011 := float64(v.At(x0, y0+1, z0+1))
+	c111 := float64(v.At(x0+1, y0+1, z0+1))
+	c00 := c000 + fx*(c100-c000)
+	c01 := c001 + fx*(c101-c001)
+	c10 := c010 + fx*(c110-c010)
+	c11 := c011 + fx*(c111-c011)
+	c0 := c00 + fy*(c10-c00)
+	c1 := c01 + fy*(c11-c01)
+	return c0 + fz*(c1-c0)
+}
+
+// View is a rotated orthographic camera.
+type View struct {
+	angle float64
+}
+
+// ray returns the origin and direction for pixel (px, py) on an s-pixel
+// image plane viewing a w-voxel volume rotated by the view angle about
+// the y axis.
+func (vw View) ray(px, py, s, w int) (ox, oy, oz, dx, dy, dz float64) {
+	// Image plane coordinates in volume units.
+	scale := float64(w) / float64(s)
+	u := (float64(px) + 0.5) * scale
+	vcoord := (float64(py) + 0.5) * scale
+	sin, cos := math.Sincos(vw.angle)
+	c := float64(w) / 2
+	// Start behind the volume on the rotated axis.
+	ox = c + (u-c)*cos + (1.5*float64(w))*sin
+	oy = vcoord
+	oz = c - (u-c)*sin + (1.5*float64(w))*cos
+	dx, dy, dz = -sin, 0, -cos
+	return
+}
+
+// Image is a rendered grayscale image with a simulated allocation.
+type Image struct {
+	S     int
+	Pix   []float64
+	alloc pthread.Alloc
+}
+
+// NewImage allocates an s-by-s image.
+func NewImage(t *pthread.T, s int) *Image {
+	return &Image{S: s, Pix: make([]float64, s*s), alloc: t.Malloc(int64(s) * int64(s) * 8)}
+}
+
+// Free releases the image's simulated allocation.
+func (img *Image) Free(t *pthread.T) { t.Free(img.alloc) }
+
+// Checksum returns a deterministic digest of the pixels.
+func (img *Image) Checksum() float64 {
+	var sum float64
+	for i, p := range img.Pix {
+		sum += p * float64(i%97+1)
+	}
+	return sum
+}
+
+// castRay renders one pixel, returning the accumulated intensity and
+// the number of samples taken.
+func castRay(v *Volume, vw View, px, py, s int) (float64, int) {
+	ox, oy, oz, dx, dy, dz := vw.ray(px, py, s, v.W)
+	// Clip to the volume's bounding cube with slabs.
+	tmin, tmax := 0.0, 3.0*float64(v.W)
+	clip := func(o, d float64) bool {
+		const eps = 1e-12
+		if d > eps || d < -eps {
+			t0 := (0 - o) / d
+			t1 := (float64(v.W) - 1 - o) / d
+			if t0 > t1 {
+				t0, t1 = t1, t0
+			}
+			if t0 > tmin {
+				tmin = t0
+			}
+			if t1 < tmax {
+				tmax = t1
+			}
+			return true
+		}
+		return o >= 0 && o <= float64(v.W)-1
+	}
+	if !clip(ox, dx) || !clip(oy, dy) || !clip(oz, dz) || tmin >= tmax {
+		return 0, 0
+	}
+
+	var intensity, opacity float64
+	samples := 0
+	const step = 1.0
+	for tt := tmin; tt < tmax; tt += step {
+		x := ox + dx*tt
+		y := oy + dy*tt
+		z := oz + dz*tt
+		if v.sampleSkippable(x, y, z) {
+			// Empty-space skip: jump to the block boundary, rounded
+			// down to the sampling lattice so that skipping never
+			// drops a sample a brute-force march would have taken in a
+			// non-empty region.
+			if jump := math.Floor(v.blockExitDistance(x, y, z, dx, dy, dz) / step); jump > 1 {
+				tt += (jump - 1) * step
+			}
+			continue
+		}
+		d := v.trilinear(x, y, z)
+		samples++
+		if d < DensityThreshold {
+			continue
+		}
+		a := (d - DensityThreshold) / 255 * 0.22
+		intensity += (1 - opacity) * a * d / 255
+		opacity += (1 - opacity) * a
+		if opacity > 0.95 {
+			break
+		}
+	}
+	return intensity, samples
+}
+
+// renderTile renders tile ti (in row-major tile order) into img and
+// charges the sampling work and the volume/image touches.
+func renderTile(t *pthread.T, v *Volume, vw View, img *Image, ti int) {
+	tilesPerRow := (img.S + TileSize - 1) / TileSize
+	tx := (ti % tilesPerRow) * TileSize
+	ty := (ti / tilesPerRow) * TileSize
+	totalSamples := 0
+	for py := ty; py < ty+TileSize && py < img.S; py++ {
+		for px := tx; px < tx+TileSize && px < img.S; px++ {
+			val, n := castRay(v, vw, px, py, img.S)
+			img.Pix[py*img.S+px] = val
+			totalSamples += n
+			// Model volume page pressure: probe the ray's path at
+			// block granularity through the per-processor TLB, so
+			// neighbouring rays (and neighbouring tiles run on the
+			// same processor) hit the pages the previous ones loaded —
+			// the locality effect Section 5.3 studies.
+			ox, oy, oz, dx, dy, dz := vw.ray(px, py, img.S, v.W)
+			step := float64(v.block)
+			for tt := 0.0; tt < 3*float64(v.W); tt += step {
+				x, y, z := int(ox+dx*tt), int(oy+dy*tt), int(oz+dz*tt)
+				if x < 0 || y < 0 || z < 0 || x >= v.W || y >= v.W || z >= v.W {
+					continue
+				}
+				t.Touch(v.alloc, v.voxelOffset(x, y, z), 1)
+			}
+		}
+	}
+	t.Charge(int64(totalSamples)*CyclesPerSample + TileSize*TileSize*60)
+	off := int64(ty*img.S+tx) * 8
+	n := int64(TileSize*img.S) * 8
+	if off+n > img.alloc.Size {
+		n = img.alloc.Size - off
+	}
+	t.Touch(img.alloc, off, n)
+}
+
+// Tiles returns the tile count for an s-pixel image.
+func Tiles(s int) int {
+	tpr := (s + TileSize - 1) / TileSize
+	return tpr * tpr
+}
+
+// Config parameterizes the renderer programs.
+type Config struct {
+	Gen GenConfig
+	// ImageSize is the image edge in pixels (default 375, as in the
+	// paper).
+	ImageSize int
+	// Frames is the number of frames rendered from rotating viewpoints
+	// (default 2).
+	Frames int
+	// TilesPerThread is the fine-grained granularity knob swept by
+	// Figure 11 (default 64, the paper's choice).
+	TilesPerThread int
+	// Procs is the worker count of the coarse-grained version.
+	Procs int
+	// Check verifies the image is non-trivial and deterministic.
+	Check bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ImageSize == 0 {
+		c.ImageSize = 375
+	}
+	if c.Frames == 0 {
+		c.Frames = 2
+	}
+	if c.TilesPerThread == 0 {
+		c.TilesPerThread = 64
+	}
+	if c.Procs == 0 {
+		c.Procs = 1
+	}
+	return c
+}
+
+func frameView(f int) View { return View{angle: 0.25 + 0.35*float64(f)} }
+
+// Serial renders all frames sequentially.
+func Serial(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) {
+		v := Generate(t, cfg.Gen)
+		img := NewImage(t, cfg.ImageSize)
+		for f := 0; f < cfg.Frames; f++ {
+			vw := frameView(f)
+			for ti := 0; ti < Tiles(cfg.ImageSize); ti++ {
+				renderTile(t, v, vw, img, ti)
+			}
+			verify(cfg, img)
+		}
+		img.Free(t)
+	}
+}
+
+// Fine renders each frame with one thread per TilesPerThread tiles.
+func Fine(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) {
+		v := Generate(t, cfg.Gen)
+		img := NewImage(t, cfg.ImageSize)
+		n := Tiles(cfg.ImageSize)
+		for f := 0; f < cfg.Frames; f++ {
+			vw := frameView(f)
+			var fns []func(*pthread.T)
+			for lo := 0; lo < n; lo += cfg.TilesPerThread {
+				hi := lo + cfg.TilesPerThread
+				if hi > n {
+					hi = n
+				}
+				lo, hi := lo, hi
+				fns = append(fns, func(ct *pthread.T) {
+					for ti := lo; ti < hi; ti++ {
+						renderTile(ct, v, vw, img, ti)
+					}
+				})
+			}
+			t.Par(fns...)
+			verify(cfg, img)
+		}
+		img.Free(t)
+	}
+}
+
+// FineTree is Fine with the tile-group threads forked as a recursive
+// binary tree instead of a flat loop. The work is identical; the fork
+// topology is what locality-aware schedulers exploit (a subtree's tiles
+// stay on the processor that forked it), so the ablloc experiment uses
+// this variant to compare ADF against DFDeques.
+func FineTree(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) {
+		v := Generate(t, cfg.Gen)
+		img := NewImage(t, cfg.ImageSize)
+		n := Tiles(cfg.ImageSize)
+		for f := 0; f < cfg.Frames; f++ {
+			vw := frameView(f)
+			var rec func(tt *pthread.T, lo, hi int)
+			rec = func(tt *pthread.T, lo, hi int) {
+				if hi-lo <= cfg.TilesPerThread {
+					for ti := lo; ti < hi; ti++ {
+						renderTile(tt, v, vw, img, ti)
+					}
+					return
+				}
+				mid := (lo + hi) / 2
+				tt.Par(
+					func(ct *pthread.T) { rec(ct, lo, mid) },
+					func(ct *pthread.T) { rec(ct, mid, hi) },
+				)
+			}
+			rec(t, 0, n)
+			verify(cfg, img)
+		}
+		img.Free(t)
+	}
+}
+
+// taskQueue is the coarse version's explicit per-processor work queue.
+type taskQueue struct {
+	mu    pthread.Mutex
+	tiles []int
+}
+
+func (q *taskQueue) pop(t *pthread.T) (int, bool) {
+	q.mu.Lock(t)
+	defer q.mu.Unlock(t)
+	if len(q.tiles) == 0 {
+		return 0, false
+	}
+	ti := q.tiles[len(q.tiles)-1]
+	q.tiles = q.tiles[:len(q.tiles)-1]
+	return ti, true
+}
+
+// Coarse is the original Splash-2 structure: one thread per processor,
+// the image statically blocked across threads, every block split into
+// tiles on an explicit per-thread task queue, and idle threads stealing
+// tiles from other queues.
+func Coarse(cfg Config) func(*pthread.T) {
+	cfg = cfg.withDefaults()
+	return func(t *pthread.T) {
+		v := Generate(t, cfg.Gen)
+		img := NewImage(t, cfg.ImageSize)
+		p := cfg.Procs
+		n := Tiles(cfg.ImageSize)
+		for f := 0; f < cfg.Frames; f++ {
+			vw := frameView(f)
+			queues := make([]*taskQueue, p)
+			for i := range queues {
+				queues[i] = &taskQueue{}
+			}
+			for ti := 0; ti < n; ti++ {
+				q := ti * p / n // contiguous block per thread
+				queues[q].tiles = append(queues[q].tiles, ti)
+			}
+			fns := make([]func(*pthread.T), p)
+			for i := 0; i < p; i++ {
+				me := i
+				fns[i] = func(ct *pthread.T) {
+					for {
+						ti, ok := queues[me].pop(ct)
+						if !ok {
+							// Steal from the first non-empty victim.
+							for d := 1; d < p && !ok; d++ {
+								ti, ok = queues[(me+d)%p].pop(ct)
+							}
+							if !ok {
+								return
+							}
+						}
+						renderTile(ct, v, vw, img, ti)
+					}
+				}
+			}
+			t.Par(fns...)
+			verify(cfg, img)
+		}
+		img.Free(t)
+	}
+}
+
+// RenderChecksum renders one frame with the named strategy ("serial",
+// "fine" or "coarse") and returns the image checksum; used by tests to
+// prove all versions compute the same image.
+func RenderChecksum(t *pthread.T, cfg Config, kind string) float64 {
+	cfg = cfg.withDefaults()
+	v := Generate(t, cfg.Gen)
+	img := NewImage(t, cfg.ImageSize)
+	vw := frameView(0)
+	n := Tiles(cfg.ImageSize)
+	switch kind {
+	case "serial":
+		for ti := 0; ti < n; ti++ {
+			renderTile(t, v, vw, img, ti)
+		}
+	case "fine":
+		var fns []func(*pthread.T)
+		for lo := 0; lo < n; lo += cfg.TilesPerThread {
+			hi := lo + cfg.TilesPerThread
+			if hi > n {
+				hi = n
+			}
+			lo, hi := lo, hi
+			fns = append(fns, func(ct *pthread.T) {
+				for ti := lo; ti < hi; ti++ {
+					renderTile(ct, v, vw, img, ti)
+				}
+			})
+		}
+		t.Par(fns...)
+	case "coarse":
+		p := 4
+		queues := make([]*taskQueue, p)
+		for i := range queues {
+			queues[i] = &taskQueue{}
+		}
+		for ti := 0; ti < n; ti++ {
+			queues[ti*p/n].tiles = append(queues[ti*p/n].tiles, ti)
+		}
+		fns := make([]func(*pthread.T), p)
+		for i := 0; i < p; i++ {
+			me := i
+			fns[i] = func(ct *pthread.T) {
+				for {
+					ti, ok := queues[me].pop(ct)
+					for d := 1; d < p && !ok; d++ {
+						ti, ok = queues[(me+d)%p].pop(ct)
+					}
+					if !ok {
+						return
+					}
+					renderTile(ct, v, vw, img, ti)
+				}
+			}
+		}
+		t.Par(fns...)
+	default:
+		panic("volrend: unknown render kind " + kind)
+	}
+	sum := img.Checksum()
+	img.Free(t)
+	return sum
+}
+
+// RenderImage renders the first frame with the fine-grained tile
+// threads and returns the pixel intensities (row-major), for callers
+// that want the actual image.
+func RenderImage(t *pthread.T, cfg Config) []float64 {
+	cfg = cfg.withDefaults()
+	v := Generate(t, cfg.Gen)
+	img := NewImage(t, cfg.ImageSize)
+	vw := frameView(0)
+	n := Tiles(cfg.ImageSize)
+	var fns []func(*pthread.T)
+	for lo := 0; lo < n; lo += cfg.TilesPerThread {
+		hi := lo + cfg.TilesPerThread
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		fns = append(fns, func(ct *pthread.T) {
+			for ti := lo; ti < hi; ti++ {
+				renderTile(ct, v, vw, img, ti)
+			}
+		})
+	}
+	t.Par(fns...)
+	out := append([]float64(nil), img.Pix...)
+	img.Free(t)
+	return out
+}
+
+// RenderImageNoSkip renders the first frame serially with empty-space
+// skipping disabled (the brute-force reference for the skip-correctness
+// test).
+func RenderImageNoSkip(t *pthread.T, cfg Config) []float64 {
+	cfg = cfg.withDefaults()
+	v := Generate(t, cfg.Gen)
+	v.DisableSkip = true
+	img := NewImage(t, cfg.ImageSize)
+	vw := frameView(0)
+	for ti := 0; ti < Tiles(cfg.ImageSize); ti++ {
+		renderTile(t, v, vw, img, ti)
+	}
+	out := append([]float64(nil), img.Pix...)
+	img.Free(t)
+	return out
+}
+
+// RenderFrameChecksum renders the f-th frame serially and returns its
+// checksum.
+func RenderFrameChecksum(t *pthread.T, cfg Config, f int) float64 {
+	cfg = cfg.withDefaults()
+	v := Generate(t, cfg.Gen)
+	img := NewImage(t, cfg.ImageSize)
+	vw := frameView(f)
+	for ti := 0; ti < Tiles(cfg.ImageSize); ti++ {
+		renderTile(t, v, vw, img, ti)
+	}
+	sum := img.Checksum()
+	img.Free(t)
+	return sum
+}
+
+func verify(cfg Config, img *Image) {
+	if !cfg.Check {
+		return
+	}
+	var lit int
+	for _, p := range img.Pix {
+		if p > 0.01 {
+			lit++
+		}
+	}
+	if lit < len(img.Pix)/20 {
+		panic("volrend: rendered image nearly empty")
+	}
+}

@@ -1,0 +1,161 @@
+package volrend_test
+
+import (
+	"testing"
+
+	"spthreads/internal/volrend"
+	"spthreads/pthread"
+)
+
+func small() volrend.Config {
+	return volrend.Config{
+		Gen:       volrend.GenConfig{W: 64},
+		ImageSize: 96,
+		Frames:    1,
+		Check:     true,
+	}
+}
+
+// TestVersionsProduceSameImage renders the same frame serially, fine-
+// grained and coarse-grained, and compares checksums.
+func TestVersionsProduceSameImage(t *testing.T) {
+	cfg := small()
+	renderSum := func(kind string, procs int) float64 {
+		var sum float64
+		_, err := pthread.Run(pthread.Config{Procs: procs, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+			sum = volrend.RenderChecksum(tt, cfg, kind)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		return sum
+	}
+	serialSum := renderSum("serial", 1)
+	fineSum := renderSum("fine", 4)
+	coarseSum := renderSum("coarse", 4)
+	if serialSum == 0 {
+		t.Fatal("serial image checksum is zero; nothing rendered")
+	}
+	if fineSum != serialSum || coarseSum != serialSum {
+		t.Errorf("checksums differ: serial=%v fine=%v coarse=%v", serialSum, fineSum, coarseSum)
+	}
+}
+
+// TestFramesDiffer ensures the rotating viewpoint changes the image.
+func TestFramesDiffer(t *testing.T) {
+	cfg := small()
+	var s0, s1 float64
+	_, err := pthread.Run(pthread.Config{Procs: 2, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		s0 = volrend.RenderFrameChecksum(tt, cfg, 0)
+		s1 = volrend.RenderFrameChecksum(tt, cfg, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 == s1 {
+		t.Errorf("frames 0 and 1 identical (checksum %v)", s0)
+	}
+}
+
+// TestGranularityThreadCounts: fewer tiles per thread means more
+// threads.
+func TestGranularityThreadCounts(t *testing.T) {
+	cfg := small()
+	cfg.Check = false
+	counts := map[int]int64{}
+	for _, g := range []int{8, 64} {
+		cfg.TilesPerThread = g
+		st, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, volrend.Fine(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[g] = st.ThreadsCreated - st.DummyThreads
+	}
+	if counts[8] <= counts[64] {
+		t.Errorf("thread counts: g=8 -> %d, g=64 -> %d; want more threads at finer granularity", counts[8], counts[64])
+	}
+}
+
+// TestCoarseRuns exercises the explicit task-queue version, whose
+// queues are built from pthread mutexes.
+func TestCoarseRuns(t *testing.T) {
+	cfg := small()
+	cfg.Procs = 4
+	if _, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, volrend.Coarse(cfg)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEarlyTermination: rays through the dense skull shell must stop
+// well before the volume's far side.
+func TestEarlyTermination(t *testing.T) {
+	cfg := small()
+	var sum float64
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, func(tt *pthread.T) {
+		sum = volrend.RenderFrameChecksum(tt, cfg, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum == 0 {
+		t.Fatal("nothing rendered")
+	}
+}
+
+// TestWorkIsNonuniform: per-tile work varies widely across the image
+// (the load imbalance that motivates dynamic scheduling); the scheduler
+// must still reach a solid speedup on the fine-grained version.
+func TestWorkIsNonuniform(t *testing.T) {
+	cfg := small()
+	cfg.Check = false
+	serial, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO, DefaultStack: pthread.SmallStackSize}, volrend.Serial(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := pthread.Run(pthread.Config{Procs: 8, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}, volrend.Fine(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := float64(serial.Time) / float64(fine.Time); sp < 3 {
+		t.Errorf("fine speedup %.2f at p=8; scheduler failed to balance the nonuniform tiles", sp)
+	}
+}
+
+// TestSkipIsExact: empty-space skipping may only skip samples that
+// contribute nothing, so the image with skipping enabled must be very
+// close to the brute-force image (trilinear interpolation across block
+// boundaries makes sub-threshold contributions possible, so a small
+// tolerance applies — but not pixel-pattern differences).
+func TestSkipIsExact(t *testing.T) {
+	var withSkip, without []float64
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, func(tt *pthread.T) {
+		cfg := small()
+		withSkip = volrend.RenderImage(tt, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyLIFO}, func(tt *pthread.T) {
+		cfg := small()
+		without = volrend.RenderImageNoSkip(tt, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withSkip) != len(without) {
+		t.Fatalf("image sizes differ")
+	}
+	var maxDiff float64
+	for i := range withSkip {
+		d := withSkip[i] - without[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-12 {
+		t.Errorf("max pixel difference with skipping = %g, want ~0 (exact skip)", maxDiff)
+	}
+}

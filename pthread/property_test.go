@@ -1,0 +1,214 @@
+package pthread_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spthreads/internal/vtime"
+	"spthreads/pthread"
+)
+
+// randomProgram builds a deterministic random fork/join computation from
+// a seed: a recursive tree with random fan-out, charges, and paired
+// allocate/touch/free, the shape class the space-bound theory covers.
+func randomProgram(seed int64, depth int) func(*pthread.T) {
+	return func(t *pthread.T) {
+		var rec func(tt *pthread.T, rng *rand.Rand, d int)
+		rec = func(tt *pthread.T, rng *rand.Rand, d int) {
+			tt.Charge(int64(rng.Intn(5000)) + 100)
+			var a pthread.Alloc
+			if rng.Intn(2) == 0 {
+				a = tt.Malloc(int64(rng.Intn(64<<10)) + 64)
+				tt.TouchAll(a)
+			}
+			if d > 0 {
+				fan := rng.Intn(3) + 1
+				// Each child gets an independent deterministic stream.
+				seeds := make([]int64, fan)
+				for i := range seeds {
+					seeds[i] = rng.Int63()
+				}
+				fns := make([]func(*pthread.T), fan)
+				for i := range fns {
+					s := seeds[i]
+					fns[i] = func(ct *pthread.T) {
+						rec(ct, rand.New(rand.NewSource(s)), d-1)
+					}
+				}
+				tt.Par(fns...)
+			}
+			tt.Charge(int64(rng.Intn(2000)) + 50)
+			if a.Addr != 0 {
+				tt.Free(a)
+			}
+		}
+		rec(t, rand.New(rand.NewSource(seed)), depth)
+	}
+}
+
+func mustRun(t *testing.T, cfg pthread.Config, prog func(*pthread.T)) pthread.Stats {
+	t.Helper()
+	st, err := pthread.Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestPropMakespanBounds: for every policy and random program,
+// work/p <= makespan and span <= makespan + epsilon (the classic
+// scheduling lower bounds; span can exceed makespan only by accounting
+// slack, never the reverse beyond overheads).
+func TestPropMakespanBounds(t *testing.T) {
+	f := func(seedRaw uint32, procsRaw uint8) bool {
+		seed := int64(seedRaw)
+		procs := int(procsRaw%8) + 1
+		prog := randomProgram(seed, 4)
+		for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyLIFO, pthread.PolicyADF, pthread.PolicyWS} {
+			st := mustRun(t, pthread.Config{Procs: procs, Policy: pol, DefaultStack: pthread.SmallStackSize}, prog)
+			if int64(st.Time)*int64(procs) < int64(st.Work) {
+				t.Logf("%s p=%d: time*p = %d < work = %d", pol, procs, int64(st.Time)*int64(procs), st.Work)
+				return false
+			}
+			// Span is a lower bound on makespan up to the dispatch costs
+			// not attributed to threads.
+			if st.Time < st.Span/2 {
+				t.Logf("%s p=%d: time %v < span/2 %v", pol, procs, st.Time, st.Span/2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSpaceBound: the ADF scheduler's footprint obeys
+// S1 + O(p * D): measured against the 1-processor footprint with a
+// constant tied to the quota K and the thread count along the critical
+// path. The WS baseline obeys p * S1.
+func TestPropSpaceBound(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := int64(seedRaw)
+		prog := randomProgram(seed, 5)
+		base := mustRun(t, pthread.Config{Procs: 1, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}, prog)
+		s1 := base.HeapHWM
+		for _, procs := range []int{2, 4, 8} {
+			adf := mustRun(t, pthread.Config{Procs: procs, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}, prog)
+			// The hidden constant: each processor can hold at most the
+			// quota K of fresh allocation per depth-level of the DAG it
+			// runs ahead of the serial order, plus one oversized
+			// allocation. Depth here is <= 6, allocations <= 64KB+quota.
+			bound := s1 + int64(procs)*8*(int64(pthread.DefaultMemQuota)+64<<10)
+			if adf.HeapHWM > bound {
+				t.Logf("seed %d p=%d: adf HWM %d > bound %d (S1=%d)", seed, procs, adf.HeapHWM, bound, s1)
+				return false
+			}
+			ws := mustRun(t, pthread.Config{Procs: procs, Policy: pthread.PolicyWS, DefaultStack: pthread.SmallStackSize}, prog)
+			if s1 > 0 && ws.HeapHWM > int64(procs)*s1+int64(procs)*64<<10 {
+				t.Logf("seed %d p=%d: ws HWM %d > p*S1 %d", seed, procs, ws.HeapHWM, int64(procs)*s1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDeterminism: identical configurations give identical stats for
+// random programs under every policy.
+func TestPropDeterminism(t *testing.T) {
+	f := func(seedRaw uint32, procsRaw uint8) bool {
+		seed := int64(seedRaw)
+		procs := int(procsRaw%8) + 1
+		prog := randomProgram(seed, 4)
+		for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyLIFO, pthread.PolicyADF, pthread.PolicyWS} {
+			cfg := pthread.Config{Procs: procs, Policy: pol, DefaultStack: pthread.SmallStackSize}
+			a := mustRun(t, cfg, prog)
+			b := mustRun(t, cfg, prog)
+			if a.Time != b.Time || a.HeapHWM != b.HeapHWM || a.PeakLive != b.PeakLive ||
+				a.ThreadsCreated != b.ThreadsCreated || a.Span != b.Span {
+				t.Logf("%s p=%d seed=%d: runs differ", pol, procs, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSerialOrderSpace: on one processor, ADF's live-thread peak is
+// never above FIFO's for fork-tree programs (depth-first vs
+// breadth-first unfolding).
+func TestPropSerialOrderSpace(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := int64(seedRaw)
+		prog := randomProgram(seed, 5)
+		adf := mustRun(t, pthread.Config{Procs: 1, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}, prog)
+		fifo := mustRun(t, pthread.Config{Procs: 1, Policy: pthread.PolicyFIFO, DefaultStack: pthread.SmallStackSize}, prog)
+		if adf.PeakLive > fifo.PeakLive {
+			t.Logf("seed %d: adf peak %d > fifo peak %d", seed, adf.PeakLive, fifo.PeakLive)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropQuotaDummies: dummy-thread counts follow ceil(m/K) for
+// oversized allocations.
+func TestPropQuotaDummies(t *testing.T) {
+	f := func(mRaw uint32, kRaw uint16) bool {
+		k := int64(kRaw%1024)*64 + 512
+		m := int64(mRaw%(1<<22)) + 1
+		st := mustRun(t, pthread.Config{
+			Procs: 1, Policy: pthread.PolicyADF, MemQuota: k, DefaultStack: pthread.SmallStackSize,
+		}, func(tt *pthread.T) {
+			a := tt.Malloc(m)
+			tt.Free(a)
+		})
+		var want int64
+		if m > k {
+			want = (m + k - 1) / k
+		}
+		return st.DummyThreads == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropVirtualTimePositive: every run advances virtual time and
+// attributes it fully to the stat buckets (idle derived >= 0).
+func TestPropVirtualTimePositive(t *testing.T) {
+	f := func(seedRaw uint32, procsRaw uint8) bool {
+		procs := int(procsRaw%8) + 1
+		prog := randomProgram(int64(seedRaw), 3)
+		st := mustRun(t, pthread.Config{Procs: procs, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}, prog)
+		if st.Time <= 0 {
+			return false
+		}
+		for _, p := range st.Procs {
+			if p.Idle < 0 || p.Work < 0 {
+				return false
+			}
+			busy := p.Work + p.ThreadOps + p.Mem + p.Sched + p.LockWait + p.Idle
+			if busy > st.Time+vtime.Micro(1) {
+				t.Logf("bucket sum %v exceeds makespan %v", busy, st.Time)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

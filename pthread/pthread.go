@@ -1,0 +1,157 @@
+// Package pthread is a Pthreads-style lightweight-threads library with
+// pluggable, space-efficient scheduling, running on a deterministic
+// simulated multiprocessor.
+//
+// It reproduces the system studied in "Pthreads for Dynamic and
+// Irregular Parallelism" (Narlikar & Blelloch, SC 1998): programs create
+// one lightweight thread per parallel task — thousands of them — and the
+// library schedules the threads onto virtual processors. The scheduling
+// policy is selectable per run:
+//
+//   - PolicyFIFO — the original Solaris queue (breadth-first unfolding);
+//   - PolicyLIFO — the paper's LIFO modification;
+//   - PolicyADF  — the paper's space-efficient scheduler with memory
+//     quotas and dummy-thread throttling (S_1 + O(p·D) space);
+//   - PolicyWS   — a Cilk-style work-stealing baseline (p·S_1 space).
+//
+// A minimal program:
+//
+//	cfg := pthread.Config{Procs: 8, Policy: pthread.PolicyADF}
+//	stats, err := pthread.Run(cfg, func(t *pthread.T) {
+//		h := t.Create(func(t *pthread.T) { t.Charge(1000) })
+//		t.MustJoin(h)
+//	})
+//
+// Computation is charged in virtual cycles with Charge; memory is
+// tracked through Malloc/Free/Touch. Run returns deterministic Stats —
+// makespan, critical path, memory high-water marks, and per-processor
+// time breakdowns — for a fixed Config.
+package pthread
+
+import (
+	"spthreads/internal/core"
+	"spthreads/internal/dag"
+	"spthreads/internal/sched"
+	"spthreads/internal/trace"
+	"spthreads/internal/vtime"
+)
+
+// Policy names a scheduling policy.
+type Policy = sched.Kind
+
+// Available scheduling policies.
+const (
+	PolicyFIFO = sched.FIFO
+	PolicyLIFO = sched.LIFO
+	PolicyADF  = sched.ADF
+	PolicyWS   = sched.WS
+	// PolicyDFD is a simplified DFDeques scheduler: the paper's
+	// future-work direction combining space efficiency with locality
+	// (threads close in the computation graph run on the same
+	// processor).
+	PolicyDFD = sched.DFD
+	// PolicyRR is POSIX SCHED_RR: a prioritized FIFO queue with
+	// involuntary time slicing.
+	PolicyRR = sched.RR
+)
+
+// Stack size presets: the Solaris library default and the paper's
+// reduced one-page default.
+const (
+	DefaultStackSize = core.DefaultStackSize
+	SmallStackSize   = core.SmallStackSize
+)
+
+// DefaultMemQuota is the ADF scheduler's default per-schedule allocation
+// quota K.
+const DefaultMemQuota = sched.DefaultMemQuota
+
+// Attr carries thread-creation attributes (stack size, priority,
+// detached state, name), mirroring pthread_attr_t.
+type Attr = core.Attr
+
+// Alloc names a simulated heap allocation returned by T.Malloc.
+type Alloc = core.Alloc
+
+// Stats summarizes a completed run; see core.Stats for the fields.
+type Stats = core.Stats
+
+// Config describes one run of the simulated machine.
+type Config struct {
+	// Procs is the number of virtual processors (default 1).
+	Procs int
+	// Policy selects the scheduler (default PolicyADF).
+	Policy Policy
+	// MemQuota overrides ADF's allocation quota K in bytes.
+	MemQuota int64
+	// DisableDummies turns off ADF's dummy-thread throttling.
+	DisableDummies bool
+	// DefaultStack is the default thread stack size (default 1 MB, the
+	// Solaris library value; the paper recommends SmallStackSize).
+	DefaultStack int64
+	// PhysMem is simulated physical memory in bytes (default 2 GB).
+	PhysMem int64
+	// TLBEntries sizes the per-processor TLB model (default 64).
+	TLBEntries int
+	// Seed drives work-stealing victim selection (default 1).
+	Seed int64
+	// TimeSlice is the round-robin quantum for PolicyRR (default 10
+	// virtual milliseconds).
+	TimeSlice vtime.Duration
+	// CostModel overrides the calibrated virtual-time cost model.
+	CostModel *vtime.CostModel
+	// MaxSteps aborts runaway simulations.
+	MaxSteps int64
+	// Quantum bounds the virtual time a thread runs between handoffs to
+	// the coordinator (default 250 virtual microseconds); it controls
+	// interleaving granularity, not scheduling.
+	Quantum vtime.Duration
+	// Tracer, when non-nil, records scheduler events for later
+	// inspection (Gantt charts, per-thread summaries) without
+	// affecting virtual time.
+	Tracer *trace.Recorder
+	// DAG, when non-nil, records the computation graph for offline
+	// analysis (work, span, serial space S1, DOT export); attach a
+	// *dag.Builder from NewDAGBuilder.
+	DAG *dag.Builder
+}
+
+// Run executes main as the root thread of a fresh simulated machine and
+// returns the run's statistics. It is an error for the computation to
+// deadlock, panic, or exceed the step limit.
+func Run(cfg Config, main func(*T)) (Stats, error) {
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyADF
+	}
+	pol, err := sched.New(cfg.Policy, sched.Options{
+		MemQuota:       cfg.MemQuota,
+		DisableDummies: cfg.DisableDummies,
+		Procs:          max(cfg.Procs, 1),
+		Seed:           cfg.Seed,
+		TimeSlice:      cfg.TimeSlice,
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	ccfg := core.Config{
+		Procs:        cfg.Procs,
+		Policy:       pol,
+		CostModel:    cfg.CostModel,
+		DefaultStack: cfg.DefaultStack,
+		PhysMem:      cfg.PhysMem,
+		TLBEntries:   cfg.TLBEntries,
+		MaxSteps:     cfg.MaxSteps,
+		Quantum:      cfg.Quantum,
+		Tracer:       cfg.Tracer,
+	}
+	if cfg.DAG != nil {
+		ccfg.DAG = cfg.DAG
+	}
+	m, err := core.New(ccfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return m.Execute(func(th *core.Thread) {
+		main(&T{th: th, m: m})
+	})
+}

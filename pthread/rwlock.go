@@ -1,0 +1,39 @@
+package pthread
+
+import "spthreads/internal/core"
+
+// RWMutex is a writer-preferring readers-writer lock
+// (pthread_rwlock_t). The zero value is unlocked.
+type RWMutex struct {
+	rw core.RWMutex
+}
+
+// RLock acquires the lock for reading; multiple readers may hold it
+// concurrently.
+func (l *RWMutex) RLock(t *T) { t.m.RLock(t.th, &l.rw) }
+
+// RUnlock releases a read hold.
+func (l *RWMutex) RUnlock(t *T) { t.m.RUnlock(t.th, &l.rw) }
+
+// Lock acquires the lock exclusively for writing.
+func (l *RWMutex) Lock(t *T) { t.m.WLock(t.th, &l.rw) }
+
+// Unlock releases the write hold.
+func (l *RWMutex) Unlock(t *T) { t.m.WUnlock(t.th, &l.rw) }
+
+// SpinLock is a busy-waiting lock (pthread_spinlock_t): contended
+// acquisition burns processor time instead of descheduling. The zero
+// value is unlocked.
+type SpinLock struct {
+	sl core.SpinLock
+}
+
+// Acquire takes the spin lock, busy-waiting while it is held.
+func (l *SpinLock) Acquire(t *T) { t.m.SpinAcquire(t.th, &l.sl) }
+
+// Release frees the spin lock.
+func (l *SpinLock) Release(t *T) { t.m.SpinRelease(t.th, &l.sl) }
+
+// Spins reports the number of busy-wait bursts so far (a contention
+// diagnostic).
+func (l *SpinLock) Spins() int64 { return l.sl.Spins() }

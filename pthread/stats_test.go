@@ -1,0 +1,54 @@
+package pthread_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spthreads/pthread"
+)
+
+// TestStatsJSON: run statistics marshal cleanly for external tooling.
+func TestStatsJSON(t *testing.T) {
+	st, err := pthread.Run(pthread.Config{Procs: 2, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		tt.Par(
+			func(ct *pthread.T) { ct.Charge(1000) },
+			func(ct *pthread.T) { ct.Charge(2000) },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back pthread.Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Time != st.Time || back.ThreadsCreated != st.ThreadsCreated || len(back.Procs) != len(st.Procs) {
+		t.Errorf("round trip lost data: %+v vs %+v", back, st)
+	}
+	for _, field := range []string{"Policy", "Time", "Work", "Span", "HeapHWM", "Procs"} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("JSON missing field %s", field)
+		}
+	}
+}
+
+// TestStatsString renders the human summary.
+func TestStatsString(t *testing.T) {
+	st, err := pthread.Run(pthread.Config{Procs: 2, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		tt.Charge(50000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.String()
+	for _, frag := range []string{"policy=adf", "procs=2", "breakdown:"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Stats.String() missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package pthread
+
+import (
+	"spthreads/internal/core"
+	"spthreads/internal/vtime"
+)
+
+// Mutex is a blocking lock with FIFO handoff (pthread_mutex_t). The zero
+// value is an unlocked mutex.
+type Mutex struct {
+	mu core.Mutex
+}
+
+// Lock acquires the mutex, blocking the calling thread while it is held.
+// Blocked threads keep their scheduler placeholder, so under ADF they
+// resume at their serial position — the full-functionality property the
+// paper highlights over fork/join-only space-efficient systems.
+func (m *Mutex) Lock(t *T) { t.m.Lock(t.th, &m.mu) }
+
+// TryLock acquires the mutex if free and reports whether it did.
+func (m *Mutex) TryLock(t *T) bool { return t.m.TryLock(t.th, &m.mu) }
+
+// Unlock releases the mutex, handing it to the longest waiter if any.
+func (m *Mutex) Unlock(t *T) { t.m.Unlock(t.th, &m.mu) }
+
+// Cond is a condition variable (pthread_cond_t). The zero value is ready
+// to use.
+type Cond struct {
+	c core.Cond
+}
+
+// Wait atomically releases mu and blocks until signalled, reacquiring mu
+// before returning. As with POSIX, callers must re-check their predicate
+// in a loop.
+func (c *Cond) Wait(t *T, mu *Mutex) { t.m.Wait(t.th, &c.c, &mu.mu) }
+
+// WaitTimeout is Wait with a virtual-time deadline
+// (pthread_cond_timedwait): it returns true if the deadline passed
+// before a signal arrived. The mutex is held on return either way, and
+// callers re-check their predicate as usual.
+func (c *Cond) WaitTimeout(t *T, mu *Mutex, d vtime.Duration) (timedOut bool) {
+	return t.m.WaitTimeout(t.th, &c.c, &mu.mu, d)
+}
+
+// Signal wakes one waiting thread, if any.
+func (c *Cond) Signal(t *T) { t.m.Signal(t.th, &c.c) }
+
+// Broadcast wakes all waiting threads.
+func (c *Cond) Broadcast(t *T) { t.m.Broadcast(t.th, &c.c) }
+
+// Semaphore is a counting semaphore (sem_t).
+type Semaphore struct {
+	s *core.Semaphore
+}
+
+// NewSemaphore returns a semaphore with initial count n.
+func NewSemaphore(n int64) *Semaphore {
+	return &Semaphore{s: core.NewSemaphore(n)}
+}
+
+// Wait decrements the semaphore, blocking while it is zero.
+func (s *Semaphore) Wait(t *T) { t.m.SemWait(t.th, s.s) }
+
+// Post increments the semaphore, waking the longest waiter if any.
+func (s *Semaphore) Post(t *T) { t.m.SemPost(t.th, s.s) }
+
+// Value returns the current count.
+func (s *Semaphore) Value() int64 { return s.s.SemValue() }
+
+// Barrier blocks callers until its full party has arrived
+// (pthread_barrier_t).
+type Barrier struct {
+	b *core.Barrier
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier { return &Barrier{b: core.NewBarrier(n)} }
+
+// Wait blocks until the n-th thread arrives. The releasing thread gets
+// true (PTHREAD_BARRIER_SERIAL_THREAD); the others get false.
+func (b *Barrier) Wait(t *T) bool { return t.m.BarrierWait(t.th, b.b) }
+
+// Once runs a function exactly once across threads (pthread_once).
+type Once struct {
+	o core.Once
+}
+
+// Do invokes fn on the first call for this Once.
+func (o *Once) Do(t *T, fn func()) { t.m.OnceDo(t.th, &o.o, fn) }

@@ -1,0 +1,325 @@
+package pthread_test
+
+import (
+	"testing"
+
+	"spthreads/pthread"
+)
+
+// TestCondProducerConsumer runs a bounded buffer on mutex + two condition
+// variables across all schedulers.
+func TestCondProducerConsumer(t *testing.T) {
+	for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyLIFO, pthread.PolicyADF, pthread.PolicyWS} {
+		var mu pthread.Mutex
+		var notFull, notEmpty pthread.Cond
+		var buf []int
+		const capacity = 4
+		const items = 100
+		received := 0
+		sum := 0
+
+		_, err := pthread.Run(pthread.Config{Procs: 3, Policy: pol}, func(tt *pthread.T) {
+			prod := tt.Create(func(ct *pthread.T) {
+				for i := 1; i <= items; i++ {
+					mu.Lock(ct)
+					for len(buf) == capacity {
+						notFull.Wait(ct, &mu)
+					}
+					buf = append(buf, i)
+					notEmpty.Signal(ct)
+					mu.Unlock(ct)
+				}
+			})
+			cons := tt.Create(func(ct *pthread.T) {
+				for received < items {
+					mu.Lock(ct)
+					for len(buf) == 0 {
+						notEmpty.Wait(ct, &mu)
+					}
+					v := buf[0]
+					buf = buf[1:]
+					notFull.Signal(ct)
+					mu.Unlock(ct)
+					sum += v
+					received++
+				}
+			})
+			tt.JoinAll(prod, cons)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if want := items * (items + 1) / 2; sum != want {
+			t.Errorf("%s: sum = %d, want %d", pol, sum, want)
+		}
+	}
+}
+
+// TestCondBroadcast wakes all waiters at once.
+func TestCondBroadcast(t *testing.T) {
+	var mu pthread.Mutex
+	var cv pthread.Cond
+	released := 0
+	go_ := false
+	_, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		var hs []*pthread.Thread
+		for i := 0; i < 6; i++ {
+			hs = append(hs, tt.Create(func(ct *pthread.T) {
+				mu.Lock(ct)
+				for !go_ {
+					cv.Wait(ct, &mu)
+				}
+				released++
+				mu.Unlock(ct)
+			}))
+		}
+		// Let the waiters block, then broadcast.
+		tt.Charge(100000)
+		mu.Lock(tt)
+		go_ = true
+		cv.Broadcast(tt)
+		mu.Unlock(tt)
+		tt.JoinAll(hs...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != 6 {
+		t.Errorf("released = %d, want 6", released)
+	}
+}
+
+// TestSemaphoreRendezvous alternates two threads strictly.
+func TestSemaphoreRendezvous(t *testing.T) {
+	s1 := pthread.NewSemaphore(0)
+	s2 := pthread.NewSemaphore(0)
+	var trace []byte
+	_, err := pthread.Run(pthread.Config{Procs: 2, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		a := tt.Create(func(ct *pthread.T) {
+			for i := 0; i < 5; i++ {
+				trace = append(trace, 'a')
+				s1.Post(ct)
+				s2.Wait(ct)
+			}
+		})
+		b := tt.Create(func(ct *pthread.T) {
+			for i := 0; i < 5; i++ {
+				s1.Wait(ct)
+				trace = append(trace, 'b')
+				s2.Post(ct)
+			}
+		})
+		tt.JoinAll(a, b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(trace); got != "ababababab" {
+		t.Errorf("trace = %q, want strict alternation", got)
+	}
+}
+
+// TestSemaphoreCounting: initial counts admit that many waiters without
+// blocking.
+func TestSemaphoreCounting(t *testing.T) {
+	s := pthread.NewSemaphore(3)
+	if s.Value() != 3 {
+		t.Fatalf("value = %d, want 3", s.Value())
+	}
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		s.Wait(tt)
+		s.Wait(tt)
+		s.Wait(tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value() != 0 {
+		t.Errorf("value = %d, want 0", s.Value())
+	}
+}
+
+// TestBarrierPhases: all threads pass each phase together; exactly one
+// gets the serial-thread indication per phase.
+func TestBarrierPhases(t *testing.T) {
+	const parties = 5
+	const phases = 4
+	bar := pthread.NewBarrier(parties)
+	var mu pthread.Mutex
+	phaseCount := make([]int, phases)
+	serialCount := make([]int, phases)
+	_, err := pthread.Run(pthread.Config{Procs: 3, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		var hs []*pthread.Thread
+		for i := 0; i < parties; i++ {
+			hs = append(hs, tt.Create(func(ct *pthread.T) {
+				for ph := 0; ph < phases; ph++ {
+					mu.Lock(ct)
+					phaseCount[ph]++
+					if phaseCount[ph] > parties {
+						panic("barrier let too many threads through")
+					}
+					mu.Unlock(ct)
+					if bar.Wait(ct) {
+						mu.Lock(ct)
+						serialCount[ph]++
+						mu.Unlock(ct)
+					}
+				}
+			}))
+		}
+		tt.JoinAll(hs...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ph := 0; ph < phases; ph++ {
+		if phaseCount[ph] != parties {
+			t.Errorf("phase %d: %d arrivals, want %d", ph, phaseCount[ph], parties)
+		}
+		if serialCount[ph] != 1 {
+			t.Errorf("phase %d: %d serial threads, want 1", ph, serialCount[ph])
+		}
+	}
+}
+
+// TestOnce runs the function exactly once across many threads.
+func TestOnce(t *testing.T) {
+	var once pthread.Once
+	count := 0
+	_, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		fns := make([]func(*pthread.T), 10)
+		for i := range fns {
+			fns[i] = func(ct *pthread.T) {
+				once.Do(ct, func() { count++ })
+			}
+		}
+		tt.Par(fns...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("once ran %d times", count)
+	}
+}
+
+// TestTryLock covers the non-blocking acquisition path.
+func TestTryLock(t *testing.T) {
+	var mu pthread.Mutex
+	_, err := pthread.Run(pthread.Config{Procs: 2, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		if !mu.TryLock(tt) {
+			panic("TryLock on free mutex failed")
+		}
+		h := tt.Create(func(ct *pthread.T) {
+			if mu.TryLock(ct) {
+				panic("TryLock on held mutex succeeded")
+			}
+		})
+		tt.MustJoin(h)
+		mu.Unlock(tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTLS: thread-specific data is isolated per thread.
+func TestTLS(t *testing.T) {
+	key := pthread.NewKey()
+	bad := false
+	_, err := pthread.Run(pthread.Config{Procs: 4, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		fns := make([]func(*pthread.T), 8)
+		for i := range fns {
+			i := i
+			fns[i] = func(ct *pthread.T) {
+				ct.SetSpecific(key, i)
+				ct.Yield() // give other threads a chance to clobber
+				if got := ct.Specific(key); got != i {
+					bad = true
+				}
+			}
+		}
+		tt.Par(fns...)
+		if tt.Specific(key) != nil {
+			bad = true // root never set it
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("TLS values leaked across threads")
+	}
+}
+
+// TestJoinErrors covers POSIX join misuse.
+func TestJoinErrors(t *testing.T) {
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		// Joining a detached thread fails.
+		d := tt.CreateAttr(pthread.Attr{Detached: true}, func(*pthread.T) {})
+		if err := tt.Join(d); err == nil {
+			panic("joining a detached thread should fail")
+		}
+		// Double join fails.
+		h := tt.Create(func(*pthread.T) {})
+		if err := tt.Join(h); err != nil {
+			panic(err)
+		}
+		if err := tt.Join(h); err == nil {
+			panic("double join should fail")
+		}
+		// Self-join fails.
+		if err := tt.Join(tt.Self()); err == nil {
+			panic("self join should fail")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExitUnwinds: Exit terminates a thread from deep in its call stack
+// and the thread still joins cleanly.
+func TestExitUnwinds(t *testing.T) {
+	reachedAfter := false
+	_, err := pthread.Run(pthread.Config{Procs: 1, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		h := tt.Create(func(ct *pthread.T) {
+			var deep func(n int)
+			deep = func(n int) {
+				if n == 0 {
+					ct.Exit()
+				}
+				deep(n - 1)
+			}
+			deep(20)
+			reachedAfter = true
+		})
+		tt.MustJoin(h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reachedAfter {
+		t.Error("code after Exit ran")
+	}
+}
+
+// TestDetachedThreadsComplete: the run does not end until detached
+// threads finish.
+func TestDetachedThreadsComplete(t *testing.T) {
+	ran := 0
+	_, err := pthread.Run(pthread.Config{Procs: 2, Policy: pthread.PolicyADF}, func(tt *pthread.T) {
+		for i := 0; i < 5; i++ {
+			tt.CreateAttr(pthread.Attr{Detached: true}, func(ct *pthread.T) {
+				ct.Charge(1000)
+				ran++
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 5 {
+		t.Errorf("detached threads ran %d times, want 5", ran)
+	}
+}

@@ -1,0 +1,28 @@
+package pthread
+
+import (
+	"spthreads/internal/dag"
+	"spthreads/internal/trace"
+)
+
+// TraceRecorder collects scheduler events (create, dispatch, preempt,
+// block, wake, exit) when attached to Config.Tracer. See the trace
+// package for rendering (Gantt, Summary).
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded scheduler event.
+type TraceEvent = trace.Event
+
+// NewTraceRecorder creates a recorder holding up to capacity events
+// (0 selects a generous default).
+func NewTraceRecorder(capacity int) *TraceRecorder {
+	return trace.NewRecorder(capacity)
+}
+
+// DAGBuilder records a run's computation graph when attached to
+// Config.DAG; see the dag package for its analyses (Work, Span,
+// SerialSpace, DOT).
+type DAGBuilder = dag.Builder
+
+// NewDAGBuilder creates an empty computation-graph recorder.
+func NewDAGBuilder() *DAGBuilder { return dag.NewBuilder() }
