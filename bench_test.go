@@ -371,3 +371,25 @@ func BenchmarkSchedulers(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDispatch measures the host-side cost of one scheduler
+// dispatch cycle (OnReady of the running thread + Next) as the live
+// thread count grows. The ADF rows exercise the worst case for the
+// ordered placeholder structure — one ready entry amid n-1 blocked
+// placeholders — where the seed's linked-list scan (kept as adf-ref)
+// is O(n) and the indexed structure is O(log n).
+func BenchmarkDispatch(b *testing.B) {
+	for _, name := range harness.DispatchPolicies() {
+		b.Run(name, func(b *testing.B) {
+			for _, n := range []int{100, 1000, 10000, 100000} {
+				b.Run(benchName("n", n), func(b *testing.B) {
+					p := harness.NewDispatchPolicy(name)
+					cur := harness.DispatchScenario(p, n)
+					b.ReportAllocs()
+					b.ResetTimer()
+					harness.DispatchSteps(p, cur, b.N)
+				})
+			}
+		})
+	}
+}

@@ -9,7 +9,8 @@
 //
 // Experiment ids follow the paper's artifacts: fig1, fig3, fig5, fig6,
 // fig7, fig8, fig9, fig10, fig11, scale, the ablations ablk, ablws and
-// abldummy, and the future-work extensions ablloc and ablsched.
+// abldummy, the future-work extensions ablloc and ablsched, and the
+// host-side scheduler cost tracker dispatch.
 package main
 
 import (

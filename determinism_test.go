@@ -1,0 +1,122 @@
+package spthreads_test
+
+// Determinism regression: a fixed small configuration must produce
+// bit-identical virtual results — makespan, heap high-water mark, and
+// peak live threads — on every run and on every commit. The expected
+// values live in testdata/determinism.golden, generated from the seed
+// implementation; any PR that accidentally perturbs the scheduling
+// order (e.g. while "only" changing scheduler data structures) fails
+// this test rather than silently shifting every figure.
+//
+// Regenerate (only when an order change is intended and understood):
+//
+//	go test -run TestDeterminismGolden -update-golden
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"spthreads/internal/fft"
+	"spthreads/internal/matmul"
+	"spthreads/pthread"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/determinism.golden from the current implementation")
+
+const goldenPath = "testdata/determinism.golden"
+
+// determinismCases is a small fig5/fig8-style configuration: the fine
+// matrix multiply (Figure 5/7/8's workhorse) and the 64-thread FFT
+// (Figure 10's load-balance case), each under every policy the paper
+// studies plus the two baselines.
+func determinismCases() []struct {
+	name string
+	cfg  pthread.Config
+	prog func(*pthread.T)
+} {
+	mm := matmul.Config{N: 64, Leaf: 16}
+	ff := fft.Config{LogN: 13, Threads: 64}
+	policies := []pthread.Policy{
+		pthread.PolicyFIFO, pthread.PolicyLIFO, pthread.PolicyADF,
+		pthread.PolicyWS, pthread.PolicyDFD,
+	}
+	var cases []struct {
+		name string
+		cfg  pthread.Config
+		prog func(*pthread.T)
+	}
+	for _, pol := range policies {
+		cases = append(cases, struct {
+			name string
+			cfg  pthread.Config
+			prog func(*pthread.T)
+		}{
+			name: "matmul64/" + string(pol) + "/p4",
+			cfg:  pthread.Config{Procs: 4, Policy: pol, DefaultStack: pthread.SmallStackSize},
+			prog: matmul.Fine(mm),
+		})
+		cases = append(cases, struct {
+			name string
+			cfg  pthread.Config
+			prog func(*pthread.T)
+		}{
+			name: "fft13/" + string(pol) + "/p3",
+			cfg:  pthread.Config{Procs: 3, Policy: pol, DefaultStack: pthread.SmallStackSize},
+			prog: fft.Program(ff),
+		})
+	}
+	return cases
+}
+
+// runCase formats one golden line: virtual makespan in cycles, heap
+// high-water mark in bytes, and the maximum simultaneously live thread
+// count.
+func runCase(t *testing.T, cfg pthread.Config, prog func(*pthread.T)) string {
+	t.Helper()
+	st, err := pthread.Run(cfg, prog)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return fmt.Sprintf("vtime=%d heap-hwm=%d peak-threads=%d", int64(st.Time), st.HeapHWM, st.PeakLive)
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	var lines []string
+	for _, c := range determinismCases() {
+		c := c
+		// Two runs per configuration: run-to-run determinism is asserted
+		// even when the golden file is being regenerated.
+		first := runCase(t, c.cfg, c.prog)
+		second := runCase(t, c.cfg, c.prog)
+		if first != second {
+			t.Errorf("%s: two identical runs disagree:\n  run 1: %s\n  run 2: %s", c.name, first, second)
+		}
+		lines = append(lines, c.name+" "+first)
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("virtual-time results diverge from the committed golden file.\n"+
+			"This means the scheduling order changed. If that is intentional, run\n"+
+			"`go test -run TestDeterminismGolden -update-golden` and explain the\n"+
+			"change in the PR; otherwise the change broke order preservation.\n\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

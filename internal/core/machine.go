@@ -81,6 +81,13 @@ type Machine struct {
 
 	readyAt timeHeap // one entry per ready thread: when it became ready
 
+	// clocks indexes the processor clocks (split busy/idle) so that
+	// minClock and pickProc descend an O(log p) tournament tree instead
+	// of scanning every processor each scheduling step. Every clock
+	// mutation goes through tick/liftClock and every cur transition
+	// through markBusy/markIdle to keep it exact.
+	clocks *clockIndex
+
 	// sleepers holds threads parked by Sleep until a virtual deadline.
 	sleepers []sleeper
 
@@ -157,6 +164,7 @@ func New(cfg Config) (*Machine, error) {
 	for i := range m.procs {
 		m.procs[i] = &Proc{id: i, tlb: memsim.NewTLB(cfg.TLBEntries)}
 	}
+	m.clocks = newClockIndex(cfg.Procs)
 	return m, nil
 }
 
@@ -284,33 +292,45 @@ func (m *Machine) wakeSleeper(s sleeper) {
 
 // pickProc selects the runnable processor with the smallest virtual
 // clock (ties broken by id), or nil if no processor can make progress.
+// A busy processor's key is its clock; an idle one competes only while
+// ready work exists, keyed at max(clock, earliest ready time). Both
+// candidates come from O(log p) clock-tree descents; the seed scanned
+// every processor here on every scheduling step.
 func (m *Machine) pickProc() *Proc {
-	var best *Proc
-	var bestKey vtime.Time
-	for _, p := range m.procs {
-		var key vtime.Time
-		switch {
-		case p.cur != nil:
-			key = p.clock
-		case m.readyAt.len() > 0:
-			key = p.clock
-			if at := m.readyAt.min(); at > key {
-				key = at
-			}
-		default:
-			continue
-		}
-		if best == nil || key < bestKey {
-			best, bestKey = p, key
+	busyID := m.clocks.busy.minProc()
+	idleID := -1
+	var idleKey vtime.Time
+	if m.readyAt.len() > 0 {
+		r := m.readyAt.min()
+		// Idle processors at or behind the ready time share the
+		// effective key r, so the seed's ascending-id scan picked the
+		// smallest id among them; otherwise every idle key is the
+		// processor's own clock and the smallest (clock, id) wins.
+		if id := m.clocks.idle.leftmostLeq(r); id >= 0 {
+			idleID, idleKey = id, r
+		} else if id := m.clocks.idle.minProc(); id >= 0 {
+			idleID, idleKey = id, m.procs[id].clock
 		}
 	}
-	return best
+	switch {
+	case busyID < 0 && idleID < 0:
+		return nil
+	case idleID < 0:
+		return m.procs[busyID]
+	case busyID < 0:
+		return m.procs[idleID]
+	}
+	if busyKey := m.procs[busyID].clock; busyKey < idleKey ||
+		(busyKey == idleKey && busyID < idleID) {
+		return m.procs[busyID]
+	}
+	return m.procs[idleID]
 }
 
 // dispatch assigns the next ready thread to an idle processor.
 func (m *Machine) dispatch(p *Proc) {
 	if at := m.readyAt.min(); at > p.clock {
-		p.clock = at // the gap is idle time, derived in stats()
+		m.liftClock(p, at) // the gap is idle time, derived in stats()
 	}
 	m.queueOp(p)
 	t := m.policy.Next(p.id)
@@ -326,11 +346,12 @@ func (m *Machine) assign(p *Proc, t *Thread) {
 	t.state = StateRunning
 	t.proc = p
 	p.cur = t
+	m.markBusy(p)
 	if tr := m.cfg.Tracer; tr != nil {
 		tr.Record(p.clock, p.id, t.ID, trace.KindDispatch)
 	}
 	p.stats.Sched += m.cm.ContextSwitch
-	p.clock += vtime.Time(m.cm.ContextSwitch)
+	m.tick(p, m.cm.ContextSwitch)
 	p.stats.Dispatches++
 	t.quotaLeft = m.policy.Quota()
 	t.sinceDispatch = 0
@@ -338,7 +359,7 @@ func (m *Machine) assign(p *Proc, t *Thread) {
 		// The thread's first frames fault in the base of its stack.
 		cost := m.mem.Touch(p.tlb, t.stackAddr, memsim.PageSize)
 		p.stats.Mem += cost
-		p.clock += vtime.Time(cost)
+		m.tick(p, cost)
 		t.start()
 	}
 }
@@ -365,6 +386,7 @@ func (m *Machine) step(p *Proc) {
 		t.state = StateBlocked
 		t.proc = nil
 		p.cur = nil
+		m.markIdle(p)
 	case actPreempt, actYield:
 		if tr := m.cfg.Tracer; tr != nil {
 			tr.Record(p.clock, p.id, t.ID, trace.KindPreempt)
@@ -372,6 +394,7 @@ func (m *Machine) step(p *Proc) {
 		next := t.action.next
 		t.proc = nil
 		p.cur = nil
+		m.markIdle(p)
 		m.queueOp(p)
 		m.becomeReady(t, p.id)
 		if next != nil {
@@ -401,11 +424,12 @@ func (m *Machine) handleExit(p *Proc, t *Thread) {
 	m.queueOp(p)
 	cost := m.mem.FreeStack(t.stackAddr, t.stackSize)
 	p.stats.Mem += cost
-	p.clock += vtime.Time(cost)
+	m.tick(p, cost)
 	delete(m.liveThreads, t.ID)
 	m.live--
 	t.proc = nil
 	p.cur = nil
+	m.markIdle(p)
 	if t.joiner != nil {
 		j := t.joiner
 		t.joiner = nil
@@ -442,13 +466,13 @@ const lockWindow = vtime.Duration(100 * vtime.CyclesPerMicrosecond)
 // scalability limit of its scheduler).
 func (m *Machine) queueOp(p *Proc) {
 	p.stats.Sched += m.cm.SchedLockOp
-	p.clock += vtime.Time(m.cm.SchedLockOp)
+	m.tick(p, m.cm.SchedLockOp)
 	if !m.policy.Global() {
 		return
 	}
 	if wait := m.schedLock.wait(p.clock); wait > 0 {
 		p.stats.LockWait += wait
-		p.clock += vtime.Time(wait)
+		m.tick(p, wait)
 	}
 	if m.schedLock.size() > 1<<14 {
 		m.schedLock.prune(m.minClock())
@@ -482,14 +506,24 @@ func (m *Machine) kernelOp(t *Thread) {
 // minClock is the smallest processor clock; contention windows older
 // than this cannot receive further operations.
 func (m *Machine) minClock() vtime.Time {
-	min := m.procs[0].clock
-	for _, p := range m.procs[1:] {
-		if p.clock < min {
-			min = p.clock
-		}
-	}
-	return min
+	return m.clocks.min()
 }
+
+// tick advances p's clock by d and keeps the clock index exact.
+func (m *Machine) tick(p *Proc, d vtime.Duration) {
+	p.clock += vtime.Time(d)
+	m.clocks.update(p.id, p.clock)
+}
+
+// liftClock raises p's clock to at (never backwards).
+func (m *Machine) liftClock(p *Proc, at vtime.Time) {
+	p.clock = at
+	m.clocks.update(p.id, p.clock)
+}
+
+// markBusy and markIdle mirror p.cur transitions into the clock index.
+func (m *Machine) markBusy(p *Proc) { m.clocks.setBusy(p.id, true, p.clock) }
+func (m *Machine) markIdle(p *Proc) { m.clocks.setBusy(p.id, false, p.clock) }
 
 func (m *Machine) newThread(attr Attr, fn func(*Thread)) *Thread {
 	m.nextID++
@@ -575,7 +609,7 @@ func (m *Machine) chargeWork(t *Thread, d vtime.Duration) {
 	}
 	p := t.proc
 	p.stats.Work += d
-	p.clock += vtime.Time(d)
+	m.tick(p, d)
 	t.work += d
 	t.span += d
 	t.sinceYield += d
@@ -588,7 +622,7 @@ func (m *Machine) chargeOps(t *Thread, d vtime.Duration) {
 	}
 	p := t.proc
 	p.stats.ThreadOps += d
-	p.clock += vtime.Time(d)
+	m.tick(p, d)
 	t.work += d
 	t.span += d
 	t.sinceYield += d
@@ -601,7 +635,7 @@ func (m *Machine) chargeMem(t *Thread, d vtime.Duration) {
 	}
 	p := t.proc
 	p.stats.Mem += d
-	p.clock += vtime.Time(d)
+	m.tick(p, d)
 	t.work += d
 	t.span += d
 	t.sinceYield += d

@@ -1,0 +1,125 @@
+package harness
+
+// The dispatch experiment measures the scheduler's host-side dispatch
+// cost — wall-clock nanoseconds per Next/OnReady cycle — as a function
+// of live thread count. It exists to track the tentpole claim of the
+// indexed ADF structure: the seed's linked-list scan made every ADF
+// dispatch O(live threads), which dominated host time on benchmarks
+// that hold tens of thousands of live placeholders (the very workloads
+// the paper's scheduler is for). The adf-ref row keeps the transcribed
+// list implementation measurable so the asymptotic gap stays visible.
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"spthreads/internal/core"
+	"spthreads/internal/sched"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "dispatch",
+		Title: "Scheduler dispatch cost vs live threads (host time)",
+		What:  "wall-clock ns per dispatch for each policy, 10^2..10^5 live threads",
+		Run:   runDispatch,
+	})
+}
+
+// DispatchPolicies lists the policy names the dispatch scenario sweeps;
+// "adf-ref" is the retained naive linked-list ADF used as the baseline.
+func DispatchPolicies() []string {
+	return []string{"fifo", "lifo", "ws", "dfd", "adf", "adf-ref"}
+}
+
+// NewDispatchPolicy builds a fresh policy instance for the dispatch
+// scenario.
+func NewDispatchPolicy(name string) core.Policy {
+	if name == "adf-ref" {
+		return sched.NewADFReference(0, false)
+	}
+	return sched.MustNew(sched.Kind(name), sched.Options{Procs: 1})
+}
+
+// DispatchScenario loads p with n live threads and returns the thread
+// currently dispatched. For the ADF family the machine's fork protocol
+// is replayed so the other n-1 threads are blocked placeholders in the
+// serial order — every dispatch must then locate the lone ready entry
+// among them, the structure's worst case. For the queue policies the
+// n-1 threads are parked in the ready structure as if woken.
+func DispatchScenario(p core.Policy, n int) *core.Thread {
+	root := &core.Thread{ID: 1}
+	p.OnCreate(nil, root)
+	if got := p.Next(0); got != root {
+		panic(fmt.Sprintf("harness: dispatch scenario: Next = %v, want root", got))
+	}
+	for i := 2; i <= n; i++ {
+		c := &core.Thread{ID: int64(i)}
+		if p.OnCreate(root, c) {
+			// Child-first policy: the parent is preempted, the child
+			// runs and immediately blocks, the parent resumes.
+			p.OnReady(root, 0)
+			p.OnBlock(c)
+			if got := p.Next(0); got != root {
+				panic(fmt.Sprintf("harness: dispatch scenario: Next = %v, want preempted root", got))
+			}
+		} else {
+			p.OnReady(c, 0)
+		}
+	}
+	return root
+}
+
+// DispatchSteps runs steps preempt/dispatch cycles against p starting
+// from the dispatched thread cur, returning the finally dispatched
+// thread.
+func DispatchSteps(p core.Policy, cur *core.Thread, steps int) *core.Thread {
+	for i := 0; i < steps; i++ {
+		p.OnReady(cur, 0)
+		next := p.Next(0)
+		if next == nil {
+			panic("harness: dispatch scenario drained")
+		}
+		cur = next
+	}
+	return cur
+}
+
+func runDispatch(w io.Writer, opt Options) error {
+	sizes := []int{100, 1000, 10000}
+	if opt.paper() {
+		sizes = append(sizes, 100000)
+	}
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "policy")
+	for _, n := range sizes {
+		fmt.Fprintf(tw, "\tn=%d", n)
+	}
+	fmt.Fprint(tw, "\t\n")
+	for _, name := range DispatchPolicies() {
+		fmt.Fprint(tw, name)
+		for _, n := range sizes {
+			fmt.Fprintf(tw, "\t%.0f ns", dispatchCost(name, n))
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	return tw.Flush()
+}
+
+// dispatchCost times the steady-state dispatch cycle at n live threads.
+// The step count shrinks with n so the naive O(n) baseline stays
+// affordable at the largest sizes.
+func dispatchCost(name string, n int) float64 {
+	p := NewDispatchPolicy(name)
+	cur := DispatchScenario(p, n)
+	steps := 20_000_000 / n
+	if steps < 2000 {
+		steps = 2000
+	}
+	cur = DispatchSteps(p, cur, steps/4) // warm-up
+	start := time.Now()
+	DispatchSteps(p, cur, steps)
+	return float64(time.Since(start).Nanoseconds()) / float64(steps)
+}

@@ -27,32 +27,70 @@ import (
 //
 // The guarantee is S_1 + O(p·D) space on p processors for a computation
 // with serial space S_1 and critical path (depth) D.
+//
+// The ordered list itself is pluggable (adfLevel): the production store
+// is an order-statistic treap whose every operation — insert, remove,
+// ready-flag flip, leftmost-ready dispatch — costs O(log n) in the
+// number of live placeholders, while the original O(n) scanning linked
+// list is retained as a differential-test oracle (NewADFReference).
+// Both stores present the identical serial order, so the dispatch
+// sequence (and therefore every virtual-time result) is unchanged.
 type adfPolicy struct {
+	name    string
 	quota   int64
 	dummies bool
-	lists   [core.NumPriorities]adfList
-	ready   int
+	levels  [core.NumPriorities]adfLevel
+	ready   int // ready entries across all levels
+	live    int // placeholder entries across all levels
 }
 
-// adfEntry is a thread's placeholder in the ordered list.
-type adfEntry struct {
-	t          *core.Thread
-	prev, next *adfEntry
-	ready      bool
-}
-
-// adfList is one priority level's ordered list. head is the leftmost
-// (earliest in serial order) entry.
-type adfList struct {
-	head, tail *adfEntry
-	ready      int
+// adfLevel is one priority level's ordered placeholder structure. The
+// sequence of entries is the serial depth-first order; implementations
+// own the per-thread entry stored in Thread.SchedState.
+type adfLevel interface {
+	// insertHead places t leftmost (earliest in serial order).
+	insertHead(t *core.Thread)
+	// insertBefore places child immediately left of parent's entry.
+	insertBefore(child, parent *core.Thread)
+	// remove deletes t's entry; t must not be ready.
+	remove(t *core.Thread)
+	// setReady flips t's ready flag, reporting whether it changed.
+	setReady(t *core.Thread, ready bool) bool
+	// readyCount returns the number of ready entries.
+	readyCount() int
+	// takeLeftmostReady clears and returns the leftmost ready entry's
+	// thread, or nil if none is ready.
+	takeLeftmostReady() *core.Thread
+	// count walks the structure and returns the number of entries (a
+	// test oracle for the policy's maintained live counter).
+	count() int
 }
 
 func newADF(quotaK int64, disableDummies bool) *adfPolicy {
-	return &adfPolicy{quota: quotaK, dummies: !disableDummies}
+	p := &adfPolicy{name: "adf", quota: quotaK, dummies: !disableDummies}
+	rng := newTreapRand()
+	for i := range p.levels {
+		p.levels[i] = &adfTreap{rng: rng}
+	}
+	return p
 }
 
-func (p *adfPolicy) Name() string { return "adf" }
+// NewADFReference builds the ADF policy over the original O(n) linked
+// list. It dispatches the exact same thread sequence as the indexed
+// policy and exists as the oracle for differential tests and as the
+// baseline for the dispatch-cost microbenchmarks.
+func NewADFReference(quotaK int64, disableDummies bool) core.Policy {
+	if quotaK == 0 {
+		quotaK = DefaultMemQuota
+	}
+	p := &adfPolicy{name: "adf-ref", quota: quotaK, dummies: !disableDummies}
+	for i := range p.levels {
+		p.levels[i] = &adfChain{}
+	}
+	return p
+}
+
+func (p *adfPolicy) Name() string { return p.name }
 func (p *adfPolicy) Global() bool { return true }
 func (p *adfPolicy) Quota() int64 { return p.quota }
 
@@ -65,29 +103,26 @@ func (p *adfPolicy) AllocDummies(m int64) int {
 	return int((m + p.quota - 1) / p.quota)
 }
 
-func (p *adfPolicy) list(t *core.Thread) *adfList { return &p.lists[t.Priority] }
+func (p *adfPolicy) level(t *core.Thread) adfLevel { return p.levels[t.Priority] }
 
 func (p *adfPolicy) OnCreate(parent, child *core.Thread) bool {
-	e := &adfEntry{t: child}
-	child.SchedState = e
-	l := p.list(child)
+	p.live++
+	l := p.level(child)
 	if parent == nil {
 		// Root thread: sole entry, runnable.
-		l.insertHead(e)
-		e.ready = true
-		l.ready++
+		l.insertHead(child)
+		l.setReady(child, true)
 		p.ready++
 		return false
 	}
-	pe, ok := parent.SchedState.(*adfEntry)
-	if ok && parent.Priority == child.Priority {
+	if parent.SchedState != nil && parent.Priority == child.Priority {
 		// Immediately left of the parent: the child precedes the parent
 		// in the serial depth-first order.
-		l.insertBefore(e, pe)
+		l.insertBefore(child, parent)
 	} else {
 		// Cross-priority forks have no serial anchor in the child's
 		// level; the leftmost position is the conservative choice.
-		l.insertHead(e)
+		l.insertHead(child)
 	}
 	// The child runs immediately (not ready: it is about to execute) and
 	// the parent is preempted; the machine re-enters the parent through
@@ -96,10 +131,7 @@ func (p *adfPolicy) OnCreate(parent, child *core.Thread) bool {
 }
 
 func (p *adfPolicy) OnReady(t *core.Thread, pid int) {
-	e := t.SchedState.(*adfEntry)
-	if !e.ready {
-		e.ready = true
-		p.list(t).ready++
+	if p.level(t).setReady(t, true) {
 		p.ready++
 	}
 }
@@ -107,23 +139,19 @@ func (p *adfPolicy) OnReady(t *core.Thread, pid int) {
 func (p *adfPolicy) OnBlock(t *core.Thread) {
 	// A blocking thread was running, so its entry is already not-ready;
 	// the entry stays in place as the paper's placeholder.
-	e := t.SchedState.(*adfEntry)
-	if e.ready {
-		e.ready = false
-		p.list(t).ready--
+	if p.level(t).setReady(t, false) {
 		p.ready--
 	}
 }
 
 func (p *adfPolicy) OnExit(t *core.Thread) {
-	e := t.SchedState.(*adfEntry)
-	if e.ready {
-		e.ready = false
-		p.list(t).ready--
+	l := p.level(t)
+	if l.setReady(t, false) {
 		p.ready--
 	}
-	p.list(t).remove(e)
+	l.remove(t)
 	t.SchedState = nil
+	p.live--
 }
 
 func (p *adfPolicy) Next(pid int) *core.Thread {
@@ -131,66 +159,20 @@ func (p *adfPolicy) Next(pid int) *core.Thread {
 		return nil
 	}
 	for pri := core.NumPriorities - 1; pri >= 0; pri-- {
-		l := &p.lists[pri]
-		if l.ready == 0 {
+		l := p.levels[pri]
+		if l.readyCount() == 0 {
 			continue
 		}
-		for e := l.head; e != nil; e = e.next {
-			if e.ready {
-				e.ready = false
-				l.ready--
-				p.ready--
-				return e.t
-			}
-		}
+		p.ready--
+		return l.takeLeftmostReady()
 	}
 	return nil
 }
 
-// Live returns the number of entries across all levels (for tests).
-func (p *adfPolicy) Live() int {
-	n := 0
-	for i := range p.lists {
-		for e := p.lists[i].head; e != nil; e = e.next {
-			n++
-		}
-	}
-	return n
-}
+// Live returns the number of placeholder entries across all levels,
+// maintained as a counter (the seed implementation walked every list).
+func (p *adfPolicy) Live() int { return p.live }
 
-func (l *adfList) insertHead(e *adfEntry) {
-	e.prev = nil
-	e.next = l.head
-	if l.head != nil {
-		l.head.prev = e
-	}
-	l.head = e
-	if l.tail == nil {
-		l.tail = e
-	}
-}
-
-func (l *adfList) insertBefore(e, at *adfEntry) {
-	e.prev = at.prev
-	e.next = at
-	if at.prev != nil {
-		at.prev.next = e
-	} else {
-		l.head = e
-	}
-	at.prev = e
-}
-
-func (l *adfList) remove(e *adfEntry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		l.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		l.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-}
+// ReadyCount returns the number of ready entries across all levels (for
+// tests and benchmarks).
+func (p *adfPolicy) ReadyCount() int { return p.ready }

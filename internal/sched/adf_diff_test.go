@@ -1,0 +1,288 @@
+package sched
+
+// Differential oracle for the ADF dispatch structure: the indexed
+// order-statistic treap and the seed's naive linked list are driven
+// through identical random fork/dispatch/block/wake/exit/priority
+// sequences and must agree on every observable — the thread returned
+// by Next(), per-level ready counts, the global ready count, and
+// Live() — at every step. The linked list is trivially correct (it is
+// the paper's data structure, transcribed); any treap bug that changes
+// a dispatch decision surfaces here long before it would corrupt a
+// benchmark figure.
+
+import (
+	"math/rand"
+	"testing"
+
+	"spthreads/internal/core"
+)
+
+// diffADF holds one policy pair under test. Both policies share the
+// adfPolicy shell, so the differential signal comes entirely from the
+// adfLevel stores; threads are mirrored per side because each store
+// owns Thread.SchedState.
+type diffADF struct {
+	t        *testing.T
+	idx, ref *adfPolicy
+	idxT     map[int64]*core.Thread
+	refT     map[int64]*core.Thread
+
+	nextID   int64
+	running  []int64
+	ready    []int64
+	blocked  []int64
+	maxProcs int
+}
+
+func newDiffADF(t *testing.T, maxProcs int) *diffADF {
+	return &diffADF{
+		t:        t,
+		idx:      newADF(DefaultMemQuota, false),
+		ref:      NewADFReference(DefaultMemQuota, false).(*adfPolicy),
+		idxT:     make(map[int64]*core.Thread),
+		refT:     make(map[int64]*core.Thread),
+		maxProcs: maxProcs,
+	}
+}
+
+func (d *diffADF) mirror(id int64, pri int) (*core.Thread, *core.Thread) {
+	a := &core.Thread{ID: id, Priority: pri}
+	b := &core.Thread{ID: id, Priority: pri}
+	d.idxT[id] = a
+	d.refT[id] = b
+	return a, b
+}
+
+// fork creates a child of the given running parent (or the root when
+// parentID < 0) and applies the machine's fork protocol to both sides.
+func (d *diffADF) fork(parentID int64, pri int) {
+	d.nextID++
+	id := d.nextID
+	a, b := d.mirror(id, pri)
+	if parentID < 0 {
+		ra := d.idx.OnCreate(nil, a)
+		rb := d.ref.OnCreate(nil, b)
+		if ra || rb {
+			d.t.Fatalf("root OnCreate: runChild idx=%v ref=%v, want false/false", ra, rb)
+		}
+		d.ready = append(d.ready, id)
+		d.check("root create")
+		return
+	}
+	pa, pb := d.idxT[parentID], d.refT[parentID]
+	ra := d.idx.OnCreate(pa, a)
+	rb := d.ref.OnCreate(pb, b)
+	if !ra || !rb {
+		d.t.Fatalf("fork OnCreate: runChild idx=%v ref=%v, want true/true", ra, rb)
+	}
+	// The machine preempts the parent and runs the child immediately.
+	d.idx.OnReady(pa, 0)
+	d.ref.OnReady(pb, 0)
+	d.moveRunning(parentID, &d.ready)
+	d.running = append(d.running, id)
+	d.check("fork")
+}
+
+// dispatch pulls the next thread from both sides and requires the same
+// choice.
+func (d *diffADF) dispatch() {
+	a := d.idx.Next(0)
+	b := d.ref.Next(0)
+	switch {
+	case (a == nil) != (b == nil):
+		d.t.Fatalf("Next: idx=%v ref=%v", a, b)
+	case a == nil:
+		return
+	case a.ID != b.ID:
+		d.t.Fatalf("Next chose different threads: idx=%d ref=%d", a.ID, b.ID)
+	}
+	d.removeID(&d.ready, a.ID)
+	d.running = append(d.running, a.ID)
+	d.check("dispatch")
+}
+
+func (d *diffADF) block(id int64) {
+	d.idx.OnBlock(d.idxT[id])
+	d.ref.OnBlock(d.refT[id])
+	d.moveRunning(id, &d.blocked)
+	d.check("block")
+}
+
+func (d *diffADF) wake(id int64) {
+	d.idx.OnReady(d.idxT[id], 0)
+	d.ref.OnReady(d.refT[id], 0)
+	d.removeID(&d.blocked, id)
+	d.ready = append(d.ready, id)
+	d.check("wake")
+}
+
+func (d *diffADF) yield(id int64) {
+	d.idx.OnReady(d.idxT[id], 0)
+	d.ref.OnReady(d.refT[id], 0)
+	d.moveRunning(id, &d.ready)
+	d.check("yield")
+}
+
+func (d *diffADF) exit(id int64) {
+	d.idx.OnExit(d.idxT[id])
+	d.ref.OnExit(d.refT[id])
+	delete(d.idxT, id)
+	delete(d.refT, id)
+	d.removeID(&d.running, id)
+	d.check("exit")
+}
+
+func (d *diffADF) moveRunning(id int64, to *[]int64) {
+	d.removeID(&d.running, id)
+	*to = append(*to, id)
+}
+
+func (d *diffADF) removeID(s *[]int64, id int64) {
+	for i, v := range *s {
+		if v == id {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return
+		}
+	}
+	d.t.Fatalf("id %d not in state slice", id)
+}
+
+// check asserts every observable agrees between the two stores and
+// that the maintained counters match ground truth.
+func (d *diffADF) check(op string) {
+	d.t.Helper()
+	if a, b := d.idx.Live(), d.ref.Live(); a != b {
+		d.t.Fatalf("%s: Live idx=%d ref=%d", op, a, b)
+	}
+	if a, b := d.idx.ReadyCount(), d.ref.ReadyCount(); a != b {
+		d.t.Fatalf("%s: ReadyCount idx=%d ref=%d", op, a, b)
+	}
+	if want := len(d.ready); d.idx.ReadyCount() != want {
+		d.t.Fatalf("%s: ReadyCount=%d, model has %d ready", op, d.idx.ReadyCount(), want)
+	}
+	if want := len(d.idxT); d.idx.Live() != want {
+		d.t.Fatalf("%s: Live=%d, model has %d live", op, d.idx.Live(), want)
+	}
+	idxEntries, refEntries, idxReady, refReady := 0, 0, 0, 0
+	for pri := 0; pri < core.NumPriorities; pri++ {
+		ir, rr := d.idx.levels[pri].readyCount(), d.ref.levels[pri].readyCount()
+		if ir != rr {
+			d.t.Fatalf("%s: level %d readyCount idx=%d ref=%d", op, pri, ir, rr)
+		}
+		idxReady += ir
+		refReady += rr
+		idxEntries += d.idx.levels[pri].count()
+		refEntries += d.ref.levels[pri].count()
+	}
+	if idxEntries != d.idx.Live() {
+		d.t.Fatalf("%s: treap walk found %d entries, Live counter says %d", op, idxEntries, d.idx.Live())
+	}
+	if refEntries != d.ref.Live() {
+		d.t.Fatalf("%s: list walk found %d entries, Live counter says %d", op, refEntries, d.ref.Live())
+	}
+	if idxReady != d.idx.ReadyCount() || refReady != d.ref.ReadyCount() {
+		d.t.Fatalf("%s: per-level ready sums (%d, %d) disagree with counters (%d, %d)",
+			op, idxReady, refReady, d.idx.ReadyCount(), d.ref.ReadyCount())
+	}
+}
+
+// step applies one operation chosen by the byte stream; it returns
+// false once the computation is fully drained and cannot restart.
+func (d *diffADF) step(opByte, pickByte, priByte byte) {
+	if len(d.idxT) == 0 {
+		d.fork(-1, int(priByte)%core.NumPriorities)
+		return
+	}
+	pick := func(s []int64) (int64, bool) {
+		if len(s) == 0 {
+			return 0, false
+		}
+		return s[int(pickByte)%len(s)], true
+	}
+	switch opByte % 6 {
+	case 0: // fork from a running thread, usually same priority
+		if id, ok := pick(d.running); ok {
+			pri := d.idxT[id].Priority
+			if priByte%4 == 0 {
+				// Cross-priority fork: exercises the insertHead path.
+				pri = int(priByte) % core.NumPriorities
+			}
+			d.fork(id, pri)
+		}
+	case 1:
+		if len(d.running) < d.maxProcs {
+			d.dispatch()
+		}
+	case 2:
+		if id, ok := pick(d.running); ok {
+			d.block(id)
+		}
+	case 3:
+		if id, ok := pick(d.blocked); ok {
+			d.wake(id)
+		}
+	case 4:
+		if id, ok := pick(d.running); ok {
+			d.yield(id)
+		}
+	case 5:
+		if id, ok := pick(d.running); ok {
+			d.exit(id)
+		}
+	}
+}
+
+// drain wakes everything and dispatches to exhaustion, comparing the
+// full remaining dispatch order.
+func (d *diffADF) drain() {
+	for len(d.blocked) > 0 {
+		d.wake(d.blocked[0])
+	}
+	for len(d.ready) > 0 {
+		d.dispatch()
+	}
+	for len(d.running) > 0 {
+		d.exit(d.running[0])
+	}
+	if a, b := d.idx.Next(0), d.ref.Next(0); a != nil || b != nil {
+		d.t.Fatalf("drained policies still dispatch: idx=%v ref=%v", a, b)
+	}
+}
+
+func TestADFDifferentialRandom(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		procs := 1 + rng.Intn(8)
+		d := newDiffADF(t, procs)
+		d.fork(-1, 0)
+		d.dispatch() // root starts running
+		for op := 0; op < 3000; op++ {
+			d.step(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+			if t.Failed() {
+				t.Fatalf("seed %d failed at op %d", seed, op)
+			}
+		}
+		d.drain()
+	}
+}
+
+// FuzzADFDifferential lets go test -fuzz explore operation sequences
+// beyond the fixed random seeds; the corpus entries replay in normal
+// test runs.
+func FuzzADFDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 0, 1, 0, 5, 5, 5, 2, 3, 2, 3, 0, 0, 0, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		d := newDiffADF(t, 4)
+		d.fork(-1, 0)
+		d.dispatch()
+		for i := 0; i+2 < len(data) && i < 3*4096; i += 3 {
+			d.step(data[i], data[i+1], data[i+2])
+		}
+		d.drain()
+	})
+}
