@@ -393,3 +393,23 @@ func BenchmarkDispatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDispatchInstrumented repeats the ADF dispatch cycle with a
+// metrics registry attached, measuring the live cost of the placeholder
+// and ready-count gauge updates on the hot path. The detached cost
+// (BenchmarkDispatch/adf) is the contract — instrumentation left
+// unattached must stay within noise of the pre-observability baseline —
+// while this row documents what attaching actually buys and costs.
+func BenchmarkDispatchInstrumented(b *testing.B) {
+	b.Run("adf", func(b *testing.B) {
+		for _, n := range []int{100, 1000, 10000, 100000} {
+			b.Run(benchName("n", n), func(b *testing.B) {
+				p := harness.NewDispatchPolicyInstrumented("adf", pthread.NewMetrics())
+				cur := harness.DispatchScenario(p, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				harness.DispatchSteps(p, cur, b.N)
+			})
+		}
+	})
+}

@@ -1,0 +1,55 @@
+// Command benchcheck validates ptbench's machine-readable output files
+// (BENCH_<id>.json) against the checked-in contract schema. CI runs it
+// after the smoke benchmark so a field rename or type drift in the JSON
+// layer fails the build instead of silently breaking downstream
+// consumers.
+//
+//	benchcheck [-schema testdata/bench.schema.json] BENCH_fig1.json ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spthreads/internal/jsonschema"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "testdata/bench.schema.json", "schema file to validate against")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-schema file] <bench json file>...")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	schema, err := jsonschema.Parse(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			failed = true
+			continue
+		}
+		if err := schema.ValidateJSON(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("benchcheck: %s ok\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

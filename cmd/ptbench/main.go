@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -27,6 +28,8 @@ import (
 func main() {
 	scale := flag.String("scale", "paper", "problem scale: small or paper")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts to sweep (default per experiment)")
+	jsonOut := flag.Bool("json", false, "also rerun each experiment with instruments attached and write BENCH_<id>.json")
+	outDir := flag.String("outdir", ".", "directory for -json output files")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -72,7 +75,41 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\n   [%s completed in %.1fs wall clock]\n\n", e.ID, time.Since(start).Seconds())
+		if *jsonOut {
+			if err := writeJSON(e, opt, *outDir); err != nil {
+				fmt.Fprintf(os.Stderr, "ptbench: %s json: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeJSON reruns the experiment's JSON emitter and writes
+// BENCH_<id>.json into dir. Experiments without an emitter are skipped
+// with a notice.
+func writeJSON(e harness.Experiment, opt harness.Options, dir string) error {
+	if e.JSON == nil {
+		fmt.Fprintf(os.Stderr, "ptbench: %s has no JSON emitter; skipping\n", e.ID)
+		return nil
+	}
+	res, err := e.JSON(opt)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+e.ID+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("   wrote %s\n\n", path)
+	return nil
 }
 
 func listExperiments() {
@@ -86,8 +123,11 @@ func usage() {
 
 usage:
   ptbench list
-  ptbench [-scale small|paper] [-procs 1,2,4,8] <experiment id>...
+  ptbench [-scale small|paper] [-procs 1,2,4,8] [-json] <experiment id>...
   ptbench all
+
+-json writes each experiment's machine-readable result as
+BENCH_<id>.json (flags must precede the experiment ids).
 `)
 	flag.PrintDefaults()
 }

@@ -2,9 +2,14 @@
 // scheduler with event tracing enabled and renders a per-processor
 // Gantt chart — a direct way to *see* the difference between the
 // breadth-first FIFO queue and the depth-first space-efficient
-// scheduler.
+// scheduler. It can also export the run for interactive inspection:
+// Chrome trace-event JSON (load in https://ui.perfetto.dev or
+// chrome://tracing), a JSONL event stream, and the space-over-time
+// profile as CSV.
 //
-//	pttrace [-policy adf|fifo|lifo|ws|dfd] [-procs 4] [-depth 5] [-width 100]
+//	pttrace [-policy adf|fifo|lifo|ws|dfd|rr] [-procs 4] [-depth 5] [-width 100]
+//	        [-out trace.json] [-events events.jsonl] [-space space.csv]
+//	        [-dot dag.dot]
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"log"
 	"os"
 
+	"spthreads/internal/trace"
 	"spthreads/pthread"
 )
 
@@ -21,10 +27,21 @@ func main() {
 	procs := flag.Int("procs", 4, "virtual processors")
 	depth := flag.Int("depth", 5, "fork-tree depth (2^depth leaves)")
 	width := flag.Int("width", 100, "gantt chart width in buckets")
+	outPath := flag.String("out", "", "write the run as Chrome trace-event JSON (Perfetto/chrome://tracing) to this file")
+	eventsPath := flag.String("events", "", "write the raw event stream as JSONL to this file")
+	spacePath := flag.String("space", "", "write the space-over-time profile as CSV to this file")
 	dotPath := flag.String("dot", "", "also write the computation DAG as Graphviz DOT to this file")
 	flag.Parse()
 
+	if !validPolicy(*policy) {
+		fmt.Fprintf(os.Stderr, "pttrace: unknown policy %q (valid: %s)\n\n", *policy, policyNames())
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	rec := pthread.NewTraceRecorder(1 << 20)
+	reg := pthread.NewMetrics()
+	prof := pthread.NewSpaceProfiler(0)
 	var g *pthread.DAGBuilder
 	if *dotPath != "" {
 		g = pthread.NewDAGBuilder()
@@ -35,6 +52,8 @@ func main() {
 		DefaultStack: pthread.SmallStackSize,
 		Tracer:       rec,
 		DAG:          g,
+		Metrics:      reg,
+		SpaceProf:    prof,
 	}
 
 	var tree func(t *pthread.T, d int)
@@ -68,6 +87,22 @@ func main() {
 	}
 	fmt.Print(rec.Gantt(*procs, *width))
 
+	fmt.Println("\nspace over virtual time:")
+	fmt.Print(prof.Curves(*width))
+
+	if m := stats.Metrics; m != nil {
+		fmt.Printf("\nmetrics: dispatches=%d quota-preempts=%d dummy-forks=%d",
+			m.Counters["sched.dispatches"], m.Counters["sched.quota.preempts"],
+			m.Counters["sched.dummy.forks"])
+		if h, ok := m.Histograms["sched.dispatch.wait"]; ok {
+			fmt.Printf(" dispatch-wait-p50=%dcy p99=%dcy", h.P50, h.P99)
+		}
+		if gv, ok := m.Gauges["adf.placeholders"]; ok {
+			fmt.Printf(" max-placeholders=%d", gv.Max)
+		}
+		fmt.Println()
+	}
+
 	fmt.Println("\nbusiest threads (by dispatch count):")
 	sum := rec.Summary()
 	shown := 0
@@ -82,4 +117,81 @@ func main() {
 	if shown == 0 {
 		fmt.Println("  (every thread ran in a single dispatch)")
 	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteChrome(f, *procs, spaceCounters(prof)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace -> %s (load in https://ui.perfetto.dev)\n", *outPath)
+	}
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d events as JSONL -> %s\n", len(rec.Events()), *eventsPath)
+	}
+	if *spacePath != "" {
+		f, err := os.Create(*spacePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := prof.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote space profile CSV -> %s\n", *spacePath)
+	}
+}
+
+// spaceCounters converts the space profile into Chrome counter tracks
+// (downsampled so huge runs stay loadable).
+func spaceCounters(prof *pthread.SpaceProfiler) []trace.CounterSample {
+	samples := prof.Downsample(2048)
+	out := make([]trace.CounterSample, 0, 2*len(samples))
+	for _, s := range samples {
+		out = append(out,
+			trace.CounterSample{At: s.At, Name: "space (bytes)", Series: map[string]int64{
+				"heap": s.Heap, "stack": s.Stack,
+			}},
+			trace.CounterSample{At: s.At, Name: "live threads", Series: map[string]int64{
+				"live": int64(s.Live),
+			}})
+	}
+	return out
+}
+
+func validPolicy(name string) bool {
+	for _, p := range pthread.Policies() {
+		if string(p) == name {
+			return true
+		}
+	}
+	return false
+}
+
+func policyNames() string {
+	var s string
+	for i, p := range pthread.Policies() {
+		if i > 0 {
+			s += ", "
+		}
+		s += string(p)
+	}
+	return s
 }

@@ -83,16 +83,29 @@ func runCase(t *testing.T, cfg pthread.Config, prog func(*pthread.T)) string {
 	return fmt.Sprintf("vtime=%d heap-hwm=%d peak-threads=%d", int64(st.Time), st.HeapHWM, st.PeakLive)
 }
 
+// instrumented returns a copy of cfg with every observability hook
+// attached (tracer, metrics registry, space profiler). Instrumentation
+// must be pure observation: a run with all hooks attached must produce
+// bit-identical virtual results to an uninstrumented run.
+func instrumented(cfg pthread.Config) pthread.Config {
+	cfg.Tracer = pthread.NewTraceRecorder(0)
+	cfg.Metrics = pthread.NewMetrics()
+	cfg.SpaceProf = pthread.NewSpaceProfiler(0)
+	return cfg
+}
+
 func TestDeterminismGolden(t *testing.T) {
 	var lines []string
 	for _, c := range determinismCases() {
 		c := c
 		// Two runs per configuration: run-to-run determinism is asserted
-		// even when the golden file is being regenerated.
+		// even when the golden file is being regenerated. The second run
+		// carries the full observability stack, so any instrument that
+		// charges virtual time or perturbs scheduling order fails here.
 		first := runCase(t, c.cfg, c.prog)
-		second := runCase(t, c.cfg, c.prog)
+		second := runCase(t, instrumented(c.cfg), c.prog)
 		if first != second {
-			t.Errorf("%s: two identical runs disagree:\n  run 1: %s\n  run 2: %s", c.name, first, second)
+			t.Errorf("%s: instrumented run diverges from plain run:\n  plain:        %s\n  instrumented: %s", c.name, first, second)
 		}
 		lines = append(lines, c.name+" "+first)
 	}

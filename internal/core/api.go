@@ -37,6 +37,7 @@ func (m *Machine) Fork(t *Thread, attr Attr, fn func(*Thread)) *Thread {
 	addr, cost, fresh := m.mem.AllocStack(child.stackSize)
 	child.stackAddr = addr
 	m.chargeMem(t, cost)
+	m.sampleSpace(t.proc.clock)
 	if fresh {
 		// A fresh stack required mapping address space in the kernel; a
 		// cached one avoided the allocator entirely.
@@ -127,12 +128,21 @@ func (m *Machine) Malloc(t *Thread, n int64) Alloc {
 		m.kernelOp(t)
 	}
 	a := Alloc{Addr: addr, Size: n}
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.RecordArg(t.proc.clock, t.proc.id, t.ID, trace.KindAlloc, n)
+	}
+	m.ins.allocs.Inc()
+	m.sampleSpace(t.proc.clock)
 	if g := m.cfg.DAG; g != nil {
 		g.Alloc(t.ID, n)
 	}
 	if m.policy.Quota() > 0 {
 		t.quotaLeft -= n
 		if t.quotaLeft <= 0 {
+			if tr := m.cfg.Tracer; tr != nil {
+				tr.RecordArg(t.proc.clock, t.proc.id, t.ID, trace.KindQuotaExhausted, n)
+			}
+			m.ins.quotaPreempts.Inc()
 			t.switchOut(action{kind: actPreempt})
 			return a
 		}
@@ -149,6 +159,11 @@ func (m *Machine) Free(t *Thread, a Alloc) {
 	}
 	m.chargeMem(t, m.mem.Free(a.Addr, a.Size))
 	m.heapOp(t)
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.RecordArg(t.proc.clock, t.proc.id, t.ID, trace.KindFree, a.Size)
+	}
+	m.ins.frees.Inc()
+	m.sampleSpace(t.proc.clock)
 	if g := m.cfg.DAG; g != nil {
 		g.Free(t.ID, a.Size)
 	}
@@ -203,6 +218,10 @@ func (m *Machine) forkDummies(t *Thread, d int) {
 	if d <= 0 {
 		return
 	}
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.RecordArg(t.proc.clock, t.proc.id, t.ID, trace.KindDummyFork, int64(d))
+	}
+	m.ins.dummyForks.Add(int64(d))
 	m.dummies += int64(d)
 	m.forkDummySubtree(t, d)
 }

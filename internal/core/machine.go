@@ -8,6 +8,8 @@ import (
 	"strings"
 
 	"spthreads/internal/memsim"
+	"spthreads/internal/metrics"
+	"spthreads/internal/spaceprof"
 	"spthreads/internal/trace"
 	"spthreads/internal/vtime"
 )
@@ -42,6 +44,15 @@ type Config struct {
 	// allocations, charges) for offline analysis; dag.Builder implements
 	// this interface.
 	DAG DAGSink
+	// Metrics, when non-nil, receives scheduler/memory instrument updates
+	// (dispatch latencies, lock waits, quota preemptions, ...); a final
+	// snapshot lands in Stats.Metrics. Nil costs the hot paths only a nil
+	// check per update and never perturbs virtual time.
+	Metrics *metrics.Registry
+	// SpaceProf, when non-nil, samples the machine's live heap/stack
+	// footprint and thread count at every footprint change, building the
+	// space-over-time curve for this run. Sampling reads clocks only.
+	SpaceProf *spaceprof.Profiler
 }
 
 // DAGSink receives computation-graph events. All calls arrive
@@ -101,8 +112,53 @@ type Machine struct {
 
 	liveThreads map[int64]*Thread
 
+	// ins holds the machine's pre-resolved instrument handles. With no
+	// registry attached every handle is nil and updates are no-ops.
+	ins instruments
+
 	err      error
 	panicked bool
+}
+
+// instruments are the machine's metric handles, resolved once at build
+// time so hot paths never do registry lookups.
+type instruments struct {
+	dispatches     *metrics.Counter   // sched.dispatches
+	dispatchWait   *metrics.Histogram // sched.dispatch.wait (cycles)
+	schedLockWait  *metrics.Histogram // sched.lock.wait (cycles)
+	heapLockWait   *metrics.Histogram // heap.lock.wait (cycles)
+	kernelLockWait *metrics.Histogram // kernel.lock.wait (cycles)
+	mutexWait      *metrics.Histogram // sync.mutex.wait (cycles)
+	quotaPreempts  *metrics.Counter   // sched.quota.preempts
+	dummyForks     *metrics.Counter   // sched.dummy.forks
+	allocs         *metrics.Counter   // mem.allocs
+	frees          *metrics.Counter   // mem.frees
+	liveThreads    *metrics.Gauge     // threads.live
+}
+
+func (m *Machine) bindInstruments(r *metrics.Registry) {
+	m.ins = instruments{
+		dispatches:     r.Counter("sched.dispatches"),
+		dispatchWait:   r.Histogram("sched.dispatch.wait"),
+		schedLockWait:  r.Histogram("sched.lock.wait"),
+		heapLockWait:   r.Histogram("heap.lock.wait"),
+		kernelLockWait: r.Histogram("kernel.lock.wait"),
+		mutexWait:      r.Histogram("sync.mutex.wait"),
+		quotaPreempts:  r.Counter("sched.quota.preempts"),
+		dummyForks:     r.Counter("sched.dummy.forks"),
+		allocs:         r.Counter("mem.allocs"),
+		frees:          r.Counter("mem.frees"),
+		liveThreads:    r.Gauge("threads.live"),
+	}
+}
+
+// sampleSpace records one space-profile point at virtual time at. It is
+// called after every footprint change (stack alloc/free, heap
+// alloc/free); with no profiler attached it is a single nil check.
+func (m *Machine) sampleSpace(at vtime.Time) {
+	if sp := m.cfg.SpaceProf; sp != nil {
+		sp.Sample(at, m.mem.LiveHeap(), m.mem.LiveStack(), m.live)
+	}
 }
 
 // Proc is one virtual processor.
@@ -165,6 +221,7 @@ func New(cfg Config) (*Machine, error) {
 		m.procs[i] = &Proc{id: i, tlb: memsim.NewTLB(cfg.TLBEntries)}
 	}
 	m.clocks = newClockIndex(cfg.Procs)
+	m.bindInstruments(cfg.Metrics)
 	return m, nil
 }
 
@@ -196,6 +253,7 @@ func (m *Machine) run(main func(*Thread)) (Stats, error) {
 		tr.Record(0, -1, root.ID, trace.KindCreate)
 	}
 	m.admit(root)
+	m.sampleSpace(0)
 	m.policy.OnCreate(nil, root)
 	root.state = StateReady
 	m.readyAt.push(0)
@@ -329,7 +387,8 @@ func (m *Machine) pickProc() *Proc {
 
 // dispatch assigns the next ready thread to an idle processor.
 func (m *Machine) dispatch(p *Proc) {
-	if at := m.readyAt.min(); at > p.clock {
+	at := m.readyAt.min()
+	if at > p.clock {
 		m.liftClock(p, at) // the gap is idle time, derived in stats()
 	}
 	m.queueOp(p)
@@ -338,6 +397,9 @@ func (m *Machine) dispatch(p *Proc) {
 		panic(fmt.Sprintf("core: policy %s found no thread with %d ready", m.policy.Name(), m.readyAt.len()))
 	}
 	m.readyAt.pop()
+	// Dispatch latency: how long the oldest pending ready timestamp had
+	// been waiting when this processor picked up work.
+	m.ins.dispatchWait.Observe(int64(p.clock - at))
 	m.assign(p, t)
 }
 
@@ -353,6 +415,7 @@ func (m *Machine) assign(p *Proc, t *Thread) {
 	p.stats.Sched += m.cm.ContextSwitch
 	m.tick(p, m.cm.ContextSwitch)
 	p.stats.Dispatches++
+	m.ins.dispatches.Inc()
 	t.quotaLeft = m.policy.Quota()
 	t.sinceDispatch = 0
 	if !t.started {
@@ -427,6 +490,8 @@ func (m *Machine) handleExit(p *Proc, t *Thread) {
 	m.tick(p, cost)
 	delete(m.liveThreads, t.ID)
 	m.live--
+	m.ins.liveThreads.Set(int64(m.live))
+	m.sampleSpace(p.clock)
 	t.proc = nil
 	p.cur = nil
 	m.markIdle(p)
@@ -473,6 +538,7 @@ func (m *Machine) queueOp(p *Proc) {
 	if wait := m.schedLock.wait(p.clock); wait > 0 {
 		p.stats.LockWait += wait
 		m.tick(p, wait)
+		m.ins.schedLockWait.Observe(int64(wait))
 	}
 	if m.schedLock.size() > 1<<14 {
 		m.schedLock.prune(m.minClock())
@@ -485,6 +551,7 @@ func (m *Machine) heapOp(t *Thread) {
 	p := t.proc
 	if wait := m.heapLock.wait(p.clock); wait > 0 {
 		m.chargeMem(t, wait)
+		m.ins.heapLockWait.Observe(int64(wait))
 	}
 	if m.heapLock.size() > 1<<14 {
 		m.heapLock.prune(m.minClock())
@@ -497,6 +564,7 @@ func (m *Machine) kernelOp(t *Thread) {
 	p := t.proc
 	if wait := m.kernelLock.wait(p.clock); wait > 0 {
 		m.chargeMem(t, wait)
+		m.ins.kernelLockWait.Observe(int64(wait))
 	}
 	if m.kernelLock.size() > 1<<14 {
 		m.kernelLock.prune(m.minClock())
@@ -555,6 +623,7 @@ func (m *Machine) admit(t *Thread) {
 		m.peakLive = m.live
 	}
 	m.liveThreads[t.ID] = t
+	m.ins.liveThreads.Set(int64(m.live))
 }
 
 func (m *Machine) recordPanic(t *Thread, r any) {

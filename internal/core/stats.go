@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"spthreads/internal/memsim"
+	"spthreads/internal/metrics"
 	"spthreads/internal/vtime"
 )
 
@@ -39,6 +40,10 @@ type Stats struct {
 
 	// Procs is the per-processor time breakdown (Figure 6).
 	Procs []ProcStats
+
+	// Metrics is the final snapshot of the attached metrics registry
+	// (nil when the run had no Config.Metrics).
+	Metrics *metrics.Snapshot
 }
 
 func (m *Machine) stats() Stats {
@@ -56,6 +61,7 @@ func (m *Machine) stats() Stats {
 		TotalHWM:       m.mem.TotalHWM(),
 		Mem:            m.mem.Stats(),
 		Procs:          make([]ProcStats, len(m.procs)),
+		Metrics:        m.cfg.Metrics.Snapshot(),
 	}
 	for i, p := range m.procs {
 		ps := p.stats

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"spthreads/internal/trace"
 	"spthreads/internal/vtime"
 )
 
@@ -31,17 +32,32 @@ func (m *Machine) Lock(t *Thread, mu *Mutex) {
 	t.maybePause()
 	if mu.owner == nil {
 		mu.owner = t
+		if tr := m.cfg.Tracer; tr != nil {
+			tr.Record(t.proc.clock, t.proc.id, t.ID, trace.KindLockAcquire)
+		}
+		m.ins.mutexWait.Observe(0)
 		return
 	}
 	if mu.owner == t {
 		panic(fmt.Sprintf("core: %s locking a mutex it already holds", t.Name()))
 	}
 	mu.waiters = append(mu.waiters, t)
+	start := t.proc.clock
 	t.switchOut(action{kind: actBlock})
 	// Unlock transferred ownership to us before waking us.
 	if mu.owner != t {
 		panic("core: woken from Lock without ownership")
 	}
+	// Blocked duration on the virtual timeline; the waker's processor may
+	// trail the blocker's clock, so clamp at zero.
+	var waited int64
+	if w := int64(t.proc.clock - start); w > 0 {
+		waited = w
+	}
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.RecordArg(t.proc.clock, t.proc.id, t.ID, trace.KindLockAcquire, waited)
+	}
+	m.ins.mutexWait.Observe(waited)
 }
 
 // TryLock acquires mu if it is free and reports whether it did.

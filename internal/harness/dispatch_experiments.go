@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"spthreads/internal/core"
+	"spthreads/internal/metrics"
 	"spthreads/internal/sched"
 )
 
@@ -25,6 +26,7 @@ func init() {
 		Title: "Scheduler dispatch cost vs live threads (host time)",
 		What:  "wall-clock ns per dispatch for each policy, 10^2..10^5 live threads",
 		Run:   runDispatch,
+		JSON:  jsonDispatch,
 	})
 }
 
@@ -41,6 +43,17 @@ func NewDispatchPolicy(name string) core.Policy {
 		return sched.NewADFReference(0, false)
 	}
 	return sched.MustNew(sched.Kind(name), sched.Options{Procs: 1})
+}
+
+// NewDispatchPolicyInstrumented builds the policy with a metrics
+// registry attached, so the dispatch benchmark can measure the cost of
+// live gauge updates on the hot path (compare against the detached
+// NewDispatchPolicy rows).
+func NewDispatchPolicyInstrumented(name string, r *metrics.Registry) core.Policy {
+	if name == "adf-ref" {
+		return sched.NewADFReference(0, false)
+	}
+	return sched.MustNew(sched.Kind(name), sched.Options{Procs: 1, Metrics: r})
 }
 
 // DispatchScenario loads p with n live threads and returns the thread

@@ -41,6 +41,10 @@ type Experiment struct {
 	// What shows the paper artifact being regenerated.
 	What string
 	Run  func(w io.Writer, opt Options) error
+	// JSON, when non-nil, reruns the experiment with instruments
+	// attached and returns its machine-readable result (`ptbench -json`
+	// writes it as BENCH_<id>.json).
+	JSON func(opt Options) (*BenchResult, error)
 }
 
 var registry []Experiment

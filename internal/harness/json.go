@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+
+	"spthreads/internal/metrics"
+	"spthreads/internal/spaceprof"
+	"spthreads/internal/vtime"
+	"spthreads/pthread"
+)
+
+// Machine-readable experiment output. Experiments that implement a JSON
+// emitter produce a BenchResult, written by `ptbench -json` as
+// BENCH_<id>.json and validated in CI against testdata/bench.schema.json.
+
+// BenchRun is one measured configuration (policy x processors) of an
+// experiment.
+type BenchRun struct {
+	Policy string `json:"policy"`
+	Procs  int    `json:"procs,omitempty"`
+
+	// Virtual-time results.
+	TimeCycles int64   `json:"time_cycles,omitempty"`
+	TimeUS     float64 `json:"time_us,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+
+	// Space results in bytes.
+	HeapHWM  int64 `json:"heap_hwm_bytes,omitempty"`
+	StackHWM int64 `json:"stack_hwm_bytes,omitempty"`
+	TotalHWM int64 `json:"total_hwm_bytes,omitempty"`
+
+	// Thread accounting.
+	ThreadsCreated int64 `json:"threads_created,omitempty"`
+	DummyThreads   int64 `json:"dummy_threads,omitempty"`
+	PeakLive       int   `json:"peak_live,omitempty"`
+
+	// Metrics is the run's instrument snapshot (dispatch latencies, lock
+	// waits, quota preemptions, ADF placeholder gauge, ...).
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+
+	// Space is the run's space-over-time curve (downsampled), present
+	// for experiments that profile space.
+	Space []spaceprof.Sample `json:"space,omitempty"`
+
+	// Host-side measurements (the dispatch experiment).
+	LiveThreads   int     `json:"live_threads,omitempty"`
+	NSPerDispatch float64 `json:"ns_per_dispatch,omitempty"`
+}
+
+// BenchResult is one experiment's machine-readable output.
+type BenchResult struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Scale      string     `json:"scale"`
+	Runs       []BenchRun `json:"runs"`
+}
+
+// Write marshals the result as indented JSON.
+func (r *BenchResult) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// instrumentedRun executes a program with a metrics registry attached
+// and converts the stats into a BenchRun.
+func instrumentedRun(cfg pthread.Config, prog func(*pthread.T)) BenchRun {
+	cfg.Metrics = pthread.NewMetrics()
+	st := run(cfg, prog)
+	return statsRun(cfg.Policy, cfg.Procs, st)
+}
+
+// statsRun converts run stats to a BenchRun row.
+func statsRun(policy pthread.Policy, procs int, st pthread.Stats) BenchRun {
+	if procs <= 0 {
+		procs = 1
+	}
+	return BenchRun{
+		Policy:         string(policy),
+		Procs:          procs,
+		TimeCycles:     int64(st.Time),
+		TimeUS:         st.Time.Microseconds(),
+		HeapHWM:        st.HeapHWM,
+		StackHWM:       st.StackHWM,
+		TotalHWM:       st.TotalHWM,
+		ThreadsCreated: st.ThreadsCreated,
+		DummyThreads:   st.DummyThreads,
+		PeakLive:       st.PeakLive,
+		Metrics:        st.Metrics,
+	}
+}
+
+// scaleName normalizes the Options scale for reports.
+func scaleName(opt Options) string {
+	if opt.paper() {
+		return "paper"
+	}
+	return "small"
+}
+
+// jsonFig1 reruns the Figure 1 scenario with instruments attached.
+func jsonFig1(opt Options) (*BenchResult, error) {
+	prog := func(t *pthread.T) {
+		leaf := func(tt *pthread.T) { tt.Charge(10) }
+		node := func(tt *pthread.T) { tt.Par(leaf, leaf) }
+		t.Par(node, node)
+	}
+	res := &BenchResult{Experiment: "fig1", Scale: scaleName(opt),
+		Title: "Active threads under FIFO vs LIFO vs depth-first (Figure 1)"}
+	for _, pol := range []pthread.Policy{pthread.PolicyFIFO, pthread.PolicyLIFO, pthread.PolicyADF} {
+		res.Runs = append(res.Runs, instrumentedRun(pthread.Config{Procs: 1, Policy: pol}, prog))
+	}
+	return res, nil
+}
+
+// jsonDispatch reruns the dispatch cost sweep.
+func jsonDispatch(opt Options) (*BenchResult, error) {
+	sizes := []int{100, 1000, 10000}
+	if opt.paper() {
+		sizes = append(sizes, 100000)
+	}
+	res := &BenchResult{Experiment: "dispatch", Scale: scaleName(opt),
+		Title: "Scheduler dispatch cost vs live threads (host time)"}
+	for _, name := range DispatchPolicies() {
+		for _, n := range sizes {
+			res.Runs = append(res.Runs, BenchRun{
+				Policy:        name,
+				Procs:         1,
+				LiveThreads:   n,
+				NSPerDispatch: dispatchCost(name, n),
+			})
+		}
+	}
+	return res, nil
+}
+
+// spaceProfileEvery coalesces space samples to one per virtual 100us,
+// keeping JSON outputs compact without losing interval peaks.
+const spaceProfileEvery = vtime.Duration(100 * vtime.CyclesPerMicrosecond)
+
+// spaceRun executes prog with both instruments and the space profiler
+// attached and attaches the downsampled curve to the run row.
+func spaceRun(cfg pthread.Config, prog func(*pthread.T), points int) BenchRun {
+	cfg.Metrics = pthread.NewMetrics()
+	prof := spaceprof.New(spaceProfileEvery)
+	cfg.SpaceProf = prof
+	st := run(cfg, prog)
+	row := statsRun(cfg.Policy, cfg.Procs, st)
+	row.Space = prof.Downsample(points)
+	return row
+}

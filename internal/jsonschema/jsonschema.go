@@ -1,0 +1,130 @@
+// Package jsonschema validates JSON documents against the small subset
+// of JSON Schema the repo's bench-output contract needs: the keywords
+// type (object, array, string, number, integer, boolean, null),
+// properties, required, items, and minItems. It exists so CI can check
+// ptbench's machine-readable output against a checked-in schema without
+// pulling in an external validator dependency.
+package jsonschema
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Schema is one (sub)schema node.
+type Schema struct {
+	Type       string             `json:"type,omitempty"`
+	Properties map[string]*Schema `json:"properties,omitempty"`
+	Required   []string           `json:"required,omitempty"`
+	Items      *Schema            `json:"items,omitempty"`
+	MinItems   *int               `json:"minItems,omitempty"`
+}
+
+// Parse decodes a schema document.
+func Parse(data []byte) (*Schema, error) {
+	var s Schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("jsonschema: parse: %w", err)
+	}
+	return &s, nil
+}
+
+// ValidateJSON decodes doc as JSON and validates it against s.
+func (s *Schema) ValidateJSON(doc []byte) error {
+	var v any
+	if err := json.Unmarshal(doc, &v); err != nil {
+		return fmt.Errorf("jsonschema: document is not valid JSON: %w", err)
+	}
+	return s.Validate(v)
+}
+
+// Validate checks a decoded document (the encoding/json any mapping:
+// map[string]any, []any, string, float64, bool, nil) against s.
+func (s *Schema) Validate(doc any) error {
+	return s.validate(doc, "$")
+}
+
+func (s *Schema) validate(doc any, path string) error {
+	if s == nil {
+		return nil // absent subschema constrains nothing
+	}
+	if s.Type != "" {
+		if err := checkType(s.Type, doc, path); err != nil {
+			return err
+		}
+	}
+	if obj, ok := doc.(map[string]any); ok {
+		for _, req := range s.Required {
+			if _, present := obj[req]; !present {
+				return fmt.Errorf("%s: missing required property %q", path, req)
+			}
+		}
+		for name, sub := range s.Properties {
+			if val, present := obj[name]; present {
+				if err := sub.validate(val, path+"."+name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if arr, ok := doc.([]any); ok {
+		if s.MinItems != nil && len(arr) < *s.MinItems {
+			return fmt.Errorf("%s: has %d items, schema requires at least %d", path, len(arr), *s.MinItems)
+		}
+		if s.Items != nil {
+			for i, item := range arr {
+				if err := s.Items.validate(item, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(want string, doc any, path string) error {
+	ok := false
+	switch want {
+	case "object":
+		_, ok = doc.(map[string]any)
+	case "array":
+		_, ok = doc.([]any)
+	case "string":
+		_, ok = doc.(string)
+	case "number":
+		_, ok = doc.(float64)
+	case "integer":
+		f, isNum := doc.(float64)
+		ok = isNum && f == math.Trunc(f)
+	case "boolean":
+		_, ok = doc.(bool)
+	case "null":
+		ok = doc == nil
+	default:
+		return fmt.Errorf("%s: schema uses unsupported type %q", path, want)
+	}
+	if !ok {
+		return fmt.Errorf("%s: is %s, schema requires %s", path, typeName(doc), want)
+	}
+	return nil
+}
+
+func typeName(doc any) string {
+	switch doc.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%T", doc)
+	}
+}

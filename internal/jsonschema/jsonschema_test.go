@@ -1,0 +1,89 @@
+package jsonschema_test
+
+import (
+	"strings"
+	"testing"
+
+	"spthreads/internal/jsonschema"
+)
+
+const benchLikeSchema = `{
+  "type": "object",
+  "required": ["experiment", "runs"],
+  "properties": {
+    "experiment": {"type": "string"},
+    "runs": {
+      "type": "array",
+      "minItems": 1,
+      "items": {
+        "type": "object",
+        "required": ["policy"],
+        "properties": {
+          "policy": {"type": "string"},
+          "procs": {"type": "integer"},
+          "time_us": {"type": "number"}
+        }
+      }
+    }
+  }
+}`
+
+func mustParse(t *testing.T, s string) *jsonschema.Schema {
+	t.Helper()
+	sch, err := jsonschema.Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func TestValidDocument(t *testing.T) {
+	sch := mustParse(t, benchLikeSchema)
+	doc := `{"experiment":"fig1","runs":[{"policy":"fifo","procs":1,"time_us":12.5}]}`
+	if err := sch.ValidateJSON([]byte(doc)); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	sch := mustParse(t, benchLikeSchema)
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"missing required", `{"runs":[{"policy":"x"}]}`, `missing required property "experiment"`},
+		{"wrong root type", `[1,2]`, "schema requires object"},
+		{"empty runs", `{"experiment":"a","runs":[]}`, "at least 1"},
+		{"item missing policy", `{"experiment":"a","runs":[{}]}`, `missing required property "policy"`},
+		{"non-integer procs", `{"experiment":"a","runs":[{"policy":"x","procs":1.5}]}`, "requires integer"},
+		{"string time", `{"experiment":"a","runs":[{"policy":"x","time_us":"slow"}]}`, "requires number"},
+		{"invalid json", `{`, "not valid JSON"},
+	}
+	for _, c := range cases {
+		err := sch.ValidateJSON([]byte(c.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestIntegerAcceptsWholeFloats(t *testing.T) {
+	sch := mustParse(t, `{"type":"integer"}`)
+	if err := sch.ValidateJSON([]byte(`42`)); err != nil {
+		t.Errorf("42 rejected as integer: %v", err)
+	}
+	if err := sch.ValidateJSON([]byte(`42.0`)); err != nil {
+		t.Errorf("42.0 rejected as integer: %v", err)
+	}
+}
+
+func TestErrorPathsPointAtOffendingNode(t *testing.T) {
+	sch := mustParse(t, benchLikeSchema)
+	err := sch.ValidateJSON([]byte(`{"experiment":"a","runs":[{"policy":"x"},{"policy":7}]}`))
+	if err == nil || !strings.Contains(err.Error(), "$.runs[1].policy") {
+		t.Errorf("error %q does not locate $.runs[1].policy", err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package metrics is a lightweight registry of named counters, gauges,
+// and histograms for scheduler-internal observability.
+//
+// The design goal is zero cost when observability is detached: every
+// instrument method is nil-safe, so instrumented code resolves its
+// handles once (from a possibly-nil *Registry) and each hot-path update
+// costs a single nil check when no registry is attached. All values are
+// plain int64s mutated from the machine coordinator (or the single
+// running thread goroutine), so no locking or atomics are needed — and
+// none of the instruments ever touches virtual time, preserving the
+// simulator's determinism invariant.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Registry is a named collection of instruments. The zero of *Registry
+// (nil) is a valid "detached" registry: it hands out nil instruments
+// whose operations are no-ops.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty attached registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter with the given name.
+// A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given name.
+// A nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{min: math.MaxInt64}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name. A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{min: math.MaxInt64}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is an instantaneous level that also tracks its extremes, so a
+// snapshot can report e.g. the maximum placeholder-list length over a
+// run, not just the final one.
+type Gauge struct {
+	cur, max int64
+	min      int64
+	set      bool
+}
+
+// Set records the gauge's current level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.cur = v
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	if v < g.min {
+		g.min = v
+	}
+	g.set = true
+}
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.cur + d)
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.cur
+}
+
+// Max returns the largest level ever set (0 if never set).
+func (g *Gauge) Max() int64 {
+	if g == nil || !g.set {
+		return 0
+	}
+	return g.max
+}
+
+// histBuckets is the number of power-of-two histogram buckets; bucket i
+// counts observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i
+// (bucket 0 holds v <= 0).
+const histBuckets = 64
+
+// Histogram accumulates a distribution of int64 observations (typically
+// virtual-time cycles) in power-of-two buckets.
+type Histogram struct {
+	count, sum int64
+	min, max   int64
+	buckets    [histBuckets]int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1),
+// resolved to the enclosing power-of-two bucket.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			hi := int64(1)<<uint(i) - 1
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// GaugeValue is a gauge's state in a snapshot.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramValue is a histogram's state in a snapshot. P50/P90/P99 are
+// power-of-two-bucket upper bounds.
+type HistogramValue struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// suitable for embedding in run statistics and for JSON output (map keys
+// marshal in sorted order, so output is deterministic).
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]GaugeValue     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state (nil for a nil
+// registry).
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.n
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeValue, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = GaugeValue{Value: g.Value(), Max: g.Max()}
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramValue, len(r.hists))
+		for name, h := range r.hists {
+			hv := HistogramValue{Count: h.count, Sum: h.sum}
+			if h.count > 0 {
+				hv.Min, hv.Max = h.min, h.max
+				hv.Mean = float64(h.sum) / float64(h.count)
+				hv.P50 = h.Quantile(0.50)
+				hv.P90 = h.Quantile(0.90)
+				hv.P99 = h.Quantile(0.99)
+			}
+			s.Histograms[name] = hv
+		}
+	}
+	return s
+}
+
+// Names returns every instrument name in the registry, sorted (for
+// tests and reports).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	var names []string
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

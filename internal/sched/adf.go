@@ -2,7 +2,7 @@ package sched
 
 import (
 	"spthreads/internal/core"
-
+	"spthreads/internal/metrics"
 	"spthreads/internal/vtime"
 )
 
@@ -42,6 +42,26 @@ type adfPolicy struct {
 	levels  [core.NumPriorities]adfLevel
 	ready   int // ready entries across all levels
 	live    int // placeholder entries across all levels
+
+	// Gauges mirror the live/ready counters into an attached metrics
+	// registry (nil handles are no-ops), exposing the placeholder-list
+	// length — the quantity the S_1 + O(p·D) bound constrains — and the
+	// ready count over the run.
+	gLive  *metrics.Gauge // adf.placeholders
+	gReady *metrics.Gauge // adf.ready
+}
+
+// attachMetrics binds the policy's gauges to a registry.
+func (p *adfPolicy) attachMetrics(r *metrics.Registry) {
+	p.gLive = r.Gauge("adf.placeholders")
+	p.gReady = r.Gauge("adf.ready")
+}
+
+// note publishes the counters after a mutation; a single nil check each
+// when no registry is attached.
+func (p *adfPolicy) note() {
+	p.gLive.Set(int64(p.live))
+	p.gReady.Set(int64(p.ready))
 }
 
 // adfLevel is one priority level's ordered placeholder structure. The
@@ -113,6 +133,7 @@ func (p *adfPolicy) OnCreate(parent, child *core.Thread) bool {
 		l.insertHead(child)
 		l.setReady(child, true)
 		p.ready++
+		p.note()
 		return false
 	}
 	if parent.SchedState != nil && parent.Priority == child.Priority {
@@ -124,6 +145,7 @@ func (p *adfPolicy) OnCreate(parent, child *core.Thread) bool {
 		// level; the leftmost position is the conservative choice.
 		l.insertHead(child)
 	}
+	p.note()
 	// The child runs immediately (not ready: it is about to execute) and
 	// the parent is preempted; the machine re-enters the parent through
 	// OnReady, which restores its ready flag in place.
@@ -133,6 +155,7 @@ func (p *adfPolicy) OnCreate(parent, child *core.Thread) bool {
 func (p *adfPolicy) OnReady(t *core.Thread, pid int) {
 	if p.level(t).setReady(t, true) {
 		p.ready++
+		p.note()
 	}
 }
 
@@ -141,6 +164,7 @@ func (p *adfPolicy) OnBlock(t *core.Thread) {
 	// the entry stays in place as the paper's placeholder.
 	if p.level(t).setReady(t, false) {
 		p.ready--
+		p.note()
 	}
 }
 
@@ -152,6 +176,7 @@ func (p *adfPolicy) OnExit(t *core.Thread) {
 	l.remove(t)
 	t.SchedState = nil
 	p.live--
+	p.note()
 }
 
 func (p *adfPolicy) Next(pid int) *core.Thread {
@@ -164,6 +189,7 @@ func (p *adfPolicy) Next(pid int) *core.Thread {
 			continue
 		}
 		p.ready--
+		p.note()
 		return l.takeLeftmostReady()
 	}
 	return nil

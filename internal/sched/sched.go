@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"spthreads/internal/core"
+	"spthreads/internal/metrics"
 	"spthreads/internal/vtime"
 )
 
@@ -42,6 +43,9 @@ type Options struct {
 	Seed int64
 	// TimeSlice is RR's round-robin quantum (default 10 virtual ms).
 	TimeSlice vtime.Duration
+	// Metrics, when non-nil, attaches policy-internal gauges (currently
+	// ADF's placeholder-list length and ready count) to the registry.
+	Metrics *metrics.Registry
 }
 
 // DefaultMemQuota is ADF's default K.
@@ -59,7 +63,11 @@ func New(kind Kind, opt Options) (core.Policy, error) {
 		if k == 0 {
 			k = DefaultMemQuota
 		}
-		return newADF(k, opt.DisableDummies), nil
+		p := newADF(k, opt.DisableDummies)
+		if opt.Metrics != nil {
+			p.attachMetrics(opt.Metrics)
+		}
+		return p, nil
 	case WS:
 		if opt.Procs <= 0 {
 			opt.Procs = 1

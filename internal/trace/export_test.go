@@ -1,0 +1,181 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spthreads/internal/trace"
+	"spthreads/pthread"
+)
+
+// chromeFile mirrors the subset of the Chrome trace-event JSON Object
+// Format that Perfetto requires; unmarshalling through it is the
+// round-trip validation.
+type chromeFile struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+	DisplayUnit string           `json:"displayTimeUnit"`
+}
+
+// TestChromeExportRoundTrip: a real run's trace exports to valid Chrome
+// trace-event JSON — parseable, with the required ph/ts/pid/tid fields
+// on every event and name/dur on the occupancy slices.
+func TestChromeExportRoundTrip(t *testing.T) {
+	rec := traceRun(t, pthread.PolicyADF)
+	var buf bytes.Buffer
+	counters := []trace.CounterSample{
+		{At: 0, Name: "space", Series: map[string]int64{"heap": 0, "stack": 8192}},
+		{At: 1000, Name: "space", Series: map[string]int64{"heap": 4096, "stack": 8192}},
+	}
+	if err := rec.WriteChrome(&buf, 2, counters); err != nil {
+		t.Fatal(err)
+	}
+
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	if f.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayUnit)
+	}
+
+	var slices, instants, countersSeen, metas int
+	for i, e := range f.TraceEvents {
+		ph, ok := e["ph"].(string)
+		if !ok || ph == "" {
+			t.Fatalf("event %d missing ph: %v", i, e)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("event %d missing pid: %v", i, e)
+		}
+		if _, ok := e["tid"].(float64); !ok {
+			t.Fatalf("event %d missing tid: %v", i, e)
+		}
+		if _, ok := e["name"].(string); !ok {
+			t.Fatalf("event %d missing name: %v", i, e)
+		}
+		switch ph {
+		case "X":
+			slices++
+			if _, ok := e["ts"].(float64); !ok {
+				t.Fatalf("slice %d missing ts: %v", i, e)
+			}
+			if d, ok := e["dur"].(float64); !ok || d < 0 {
+				t.Fatalf("slice %d bad dur: %v", i, e)
+			}
+		case "i":
+			instants++
+			if e["s"] != "t" {
+				t.Errorf("instant %d missing thread scope: %v", i, e)
+			}
+		case "C":
+			countersSeen++
+			args, ok := e["args"].(map[string]any)
+			if !ok || args["heap"] == nil || args["stack"] == nil {
+				t.Errorf("counter %d missing series args: %v", i, e)
+			}
+		case "M":
+			metas++
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	if slices == 0 {
+		t.Error("no occupancy slices exported")
+	}
+	if instants == 0 {
+		t.Error("no instant events exported")
+	}
+	if countersSeen != 2 {
+		t.Errorf("counters = %d, want 2", countersSeen)
+	}
+	if metas != 3 { // 2 proc tracks + machine track
+		t.Errorf("metadata events = %d, want 3", metas)
+	}
+}
+
+// TestChromeExportDeterministic: the same trace exports byte-identically.
+func TestChromeExportDeterministic(t *testing.T) {
+	rec := traceRun(t, pthread.PolicyADF)
+	var a, b bytes.Buffer
+	if err := rec.WriteChrome(&a, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteChrome(&b, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same trace differ")
+	}
+}
+
+// TestJSONLExport: one parseable object per line, in record order, with
+// payloads preserved.
+func TestJSONLExport(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	rec.Record(0, 0, 1, trace.KindCreate)
+	rec.RecordArg(100, 0, 1, trace.KindAlloc, 4096)
+	rec.RecordArg(200, 1, 2, trace.KindLockAcquire, 55)
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("jsonl has %d lines, want 3", len(lines))
+	}
+	type row struct {
+		TS     int64  `json:"ts"`
+		Proc   int    `json:"proc"`
+		Thread int64  `json:"thread"`
+		Kind   string `json:"kind"`
+		Arg    int64  `json:"arg"`
+	}
+	var rows []row
+	for i, l := range lines {
+		var r row
+		if err := json.Unmarshal([]byte(l), &r); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		rows = append(rows, r)
+	}
+	if rows[0].Kind != "create" || rows[0].TS != 0 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Kind != "alloc" || rows[1].Arg != 4096 {
+		t.Errorf("row 1 = %+v", rows[1])
+	}
+	if rows[2].Kind != "lock-acquire" || rows[2].Arg != 55 || rows[2].Proc != 1 {
+		t.Errorf("row 2 = %+v", rows[2])
+	}
+}
+
+// TestSegments: occupancy reconstruction closes open spans at the trace
+// horizon and attributes spans to the right processors.
+func TestSegments(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	rec.Record(0, 0, 1, trace.KindDispatch)
+	rec.Record(40, 0, 1, trace.KindBlock)
+	rec.Record(40, 0, 2, trace.KindDispatch) // still open at end
+	rec.Record(90, 1, 3, trace.KindDispatch) // still open at end
+	rec.Record(95, 1, 99, trace.KindCreate)  // horizon mover, no segment effect
+
+	segs := rec.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("segments = %+v, want 3", segs)
+	}
+	if s := segs[0]; s.Thread != 1 || s.From != 0 || s.To != 40 || s.Proc != 0 {
+		t.Errorf("seg 0 = %+v", s)
+	}
+	if s := segs[1]; s.Thread != 2 || s.From != 40 || s.To != 95 {
+		t.Errorf("seg 1 = %+v (open span must close at horizon 95)", s)
+	}
+	if s := segs[2]; s.Thread != 3 || s.Proc != 1 || s.To != 95 {
+		t.Errorf("seg 2 = %+v", s)
+	}
+}

@@ -1,7 +1,9 @@
-// Package trace records scheduler events from a simulated run and
-// renders them for inspection — per-processor Gantt charts and
-// per-thread summaries. Tracing is off unless a Recorder is attached to
-// the machine's configuration; it does not perturb virtual time.
+// Package trace records scheduler and memory events from a simulated
+// run and renders them for inspection — per-processor Gantt charts,
+// per-thread summaries, and machine-readable exports (Chrome trace-event
+// JSON for Perfetto/chrome://tracing, and a JSONL stream). Tracing is
+// off unless a Recorder is attached to the machine's configuration; it
+// does not perturb virtual time.
 package trace
 
 import (
@@ -12,10 +14,12 @@ import (
 	"spthreads/internal/vtime"
 )
 
-// Kind classifies a scheduler event.
+// Kind classifies a recorded event.
 type Kind uint8
 
-// Event kinds.
+// Event kinds. The first six are the scheduler lifecycle transitions;
+// the rest carry the memory- and synchronization-system payloads the
+// space-over-time analyses need.
 const (
 	KindCreate Kind = iota
 	KindDispatch
@@ -23,6 +27,21 @@ const (
 	KindBlock
 	KindWake
 	KindExit
+	// KindAlloc and KindFree are simulated heap operations; Arg is the
+	// request size in bytes.
+	KindAlloc
+	KindFree
+	// KindQuotaExhausted marks an allocation draining the thread's ADF
+	// memory quota to zero (the thread is preempted); Arg is the
+	// allocation size that exhausted it.
+	KindQuotaExhausted
+	// KindDummyFork marks the runtime forking no-op dummy threads to
+	// throttle a large allocation; Arg is the dummy count.
+	KindDummyFork
+	// KindLockAcquire marks a mutex acquisition; Arg is the virtual time
+	// (cycles) the thread was blocked waiting, 0 for an uncontended
+	// fast-path acquire.
+	KindLockAcquire
 )
 
 // String returns the kind's name.
@@ -40,17 +59,31 @@ func (k Kind) String() string {
 		return "wake"
 	case KindExit:
 		return "exit"
+	case KindAlloc:
+		return "alloc"
+	case KindFree:
+		return "free"
+	case KindQuotaExhausted:
+		return "quota-exhausted"
+	case KindDummyFork:
+		return "dummy-fork"
+	case KindLockAcquire:
+		return "lock-acquire"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
-// Event is one scheduler occurrence.
+// Event is one recorded occurrence.
 type Event struct {
 	At     vtime.Time
 	Proc   int // processor involved, -1 if none
 	Thread int64
 	Kind   Kind
+	// Arg is the kind-specific payload: bytes for alloc/free/quota
+	// events, dummy count for dummy-fork, blocked cycles for
+	// lock-acquire, 0 otherwise.
+	Arg int64
 }
 
 // Recorder collects events up to a cap (oldest kept; a full recorder
@@ -70,14 +103,19 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{cap: capacity}
 }
 
-// Record appends an event. It is called from the machine coordinator
-// (serialized), so no locking is needed.
+// Record appends an event without a payload. It is called from the
+// machine coordinator (serialized), so no locking is needed.
 func (r *Recorder) Record(at vtime.Time, proc int, thread int64, kind Kind) {
+	r.RecordArg(at, proc, thread, kind, 0)
+}
+
+// RecordArg appends an event carrying a kind-specific payload.
+func (r *Recorder) RecordArg(at vtime.Time, proc int, thread int64, kind Kind, arg int64) {
 	if len(r.events) >= r.cap {
 		r.dropped++
 		return
 	}
-	r.events = append(r.events, Event{At: at, Proc: proc, Thread: thread, Kind: kind})
+	r.events = append(r.events, Event{At: at, Proc: proc, Thread: thread, Kind: kind, Arg: arg})
 }
 
 // Events returns the recorded events in record order.
@@ -86,10 +124,73 @@ func (r *Recorder) Events() []Event { return r.events }
 // Dropped reports how many events exceeded the capacity.
 func (r *Recorder) Dropped() int64 { return r.dropped }
 
+// End returns the timestamp of the last recorded event (the trace's
+// horizon), or 0 for an empty trace.
+func (r *Recorder) End() vtime.Time {
+	var end vtime.Time
+	for _, e := range r.events {
+		if e.At > end {
+			end = e.At
+		}
+	}
+	return end
+}
+
+// Segment is a half-open span [From, To) during which Thread occupied
+// processor Proc.
+type Segment struct {
+	Proc     int
+	Thread   int64
+	From, To vtime.Time
+}
+
+// Segments reconstructs per-processor occupancy spans from the
+// dispatch/preempt/block/exit events. Spans still open at the end of
+// the trace are closed at the trace horizon. Both the Gantt renderer
+// and the Chrome exporter build on this.
+func (r *Recorder) Segments() []Segment {
+	if len(r.events) == 0 {
+		return nil
+	}
+	end := r.End()
+	type open struct {
+		thread int64
+		from   vtime.Time
+	}
+	cur := make(map[int]*open)
+	var segs []Segment
+	for _, e := range r.events {
+		switch e.Kind {
+		case KindDispatch:
+			if s := cur[e.Proc]; s != nil {
+				segs = append(segs, Segment{Proc: e.Proc, Thread: s.thread, From: s.from, To: e.At})
+			}
+			cur[e.Proc] = &open{thread: e.Thread, from: e.At}
+		case KindPreempt, KindBlock, KindExit:
+			if s := cur[e.Proc]; s != nil && s.thread == e.Thread {
+				segs = append(segs, Segment{Proc: e.Proc, Thread: s.thread, From: s.from, To: e.At})
+				delete(cur, e.Proc)
+			}
+		}
+	}
+	// Deterministic close-out order for still-running spans.
+	var openProcs []int
+	for p := range cur {
+		openProcs = append(openProcs, p)
+	}
+	sort.Ints(openProcs)
+	for _, p := range openProcs {
+		s := cur[p]
+		segs = append(segs, Segment{Proc: p, Thread: s.thread, From: s.from, To: end})
+	}
+	return segs
+}
+
 // Gantt renders processor occupancy over time as text: one row per
 // processor, one column per time bucket, showing the thread id (mod 62,
-// base-62 encoded) occupying the processor for the majority of each
-// bucket, '.' for idle.
+// base-62 encoded) that occupied the processor for the largest share of
+// the bucket (ties broken by smallest thread id), '.' for a bucket the
+// processor spent entirely idle.
 func (r *Recorder) Gantt(procs int, width int) string {
 	if width <= 0 {
 		width = 80
@@ -97,38 +198,15 @@ func (r *Recorder) Gantt(procs int, width int) string {
 	if len(r.events) == 0 {
 		return "(no events)\n"
 	}
-	end := r.events[len(r.events)-1].At
+	end := r.End()
 	if end == 0 {
 		end = 1
 	}
 	bucket := float64(end) / float64(width)
 
-	// Build per-proc occupancy segments from dispatch/preempt/block/exit.
-	type seg struct {
-		from, to vtime.Time
-		thread   int64
-	}
-	cur := make(map[int]*seg)
-	segsByProc := make(map[int][]seg)
-	for _, e := range r.events {
-		switch e.Kind {
-		case KindDispatch:
-			if s := cur[e.Proc]; s != nil {
-				s.to = e.At
-				segsByProc[e.Proc] = append(segsByProc[e.Proc], *s)
-			}
-			cur[e.Proc] = &seg{from: e.At, thread: e.Thread}
-		case KindPreempt, KindBlock, KindExit:
-			if s := cur[e.Proc]; s != nil && s.thread == e.Thread {
-				s.to = e.At
-				segsByProc[e.Proc] = append(segsByProc[e.Proc], *s)
-				delete(cur, e.Proc)
-			}
-		}
-	}
-	for p, s := range cur {
-		s.to = end
-		segsByProc[p] = append(segsByProc[p], *s)
+	segsByProc := make(map[int][]Segment)
+	for _, s := range r.Segments() {
+		segsByProc[s.Proc] = append(segsByProc[s.Proc], s)
 	}
 
 	const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
@@ -139,15 +217,42 @@ func (r *Recorder) Gantt(procs int, width int) string {
 		for i := range row {
 			row[i] = '.'
 		}
+		// occupancy[i] maps thread id -> duration occupied within bucket i.
+		occupancy := make([]map[int64]float64, width)
 		for _, s := range segsByProc[p] {
-			lo := int(float64(s.from) / bucket)
-			hi := int(float64(s.to) / bucket)
+			from, to := float64(s.From), float64(s.To)
+			lo := int(from / bucket)
+			hi := int(to / bucket)
 			if hi >= width {
 				hi = width - 1
 			}
-			g := glyphs[int(s.thread)%len(glyphs)]
 			for i := lo; i <= hi; i++ {
-				row[i] = g
+				bLo, bHi := float64(i)*bucket, float64(i+1)*bucket
+				overlap := min(to, bHi) - max(from, bLo)
+				if s.From == s.To && i == lo {
+					// Zero-length spans (instantaneous dispatch+exit)
+					// still claim an epsilon so the thread is visible.
+					overlap = 1e-9
+				}
+				if overlap <= 0 {
+					continue
+				}
+				if occupancy[i] == nil {
+					occupancy[i] = make(map[int64]float64)
+				}
+				occupancy[i][s.Thread] += overlap
+			}
+		}
+		for i, occ := range occupancy {
+			var best int64 = -1
+			var bestDur float64
+			for id, d := range occ {
+				if d > bestDur || (d == bestDur && (best == -1 || id < best)) {
+					best, bestDur = id, d
+				}
+			}
+			if best >= 0 {
+				row[i] = glyphs[int(best)%len(glyphs)]
 			}
 		}
 		fmt.Fprintf(&b, "p%-2d |%s|\n", p, row)
@@ -163,12 +268,20 @@ type ThreadStats struct {
 	Thread     int64
 	Dispatches int
 	Created    vtime.Time
-	Exited     vtime.Time
-	Lifetime   vtime.Duration
+	// ExitedAt is the exit timestamp; meaningful only when Exited.
+	ExitedAt vtime.Time
+	// Exited distinguishes threads that ran to completion within the
+	// trace from ones still live (or whose exit was dropped) at its end.
+	Exited bool
+	// Lifetime is ExitedAt-Created for exited threads; for threads that
+	// never exited it is the end-of-trace horizon minus Created (how
+	// long the thread had been live when recording stopped).
+	Lifetime vtime.Duration
 }
 
 // Summary aggregates per-thread statistics, sorted by thread id.
 func (r *Recorder) Summary() []ThreadStats {
+	end := r.End()
 	m := make(map[int64]*ThreadStats)
 	get := func(id int64) *ThreadStats {
 		s := m[id]
@@ -186,12 +299,17 @@ func (r *Recorder) Summary() []ThreadStats {
 		case KindDispatch:
 			s.Dispatches++
 		case KindExit:
-			s.Exited = e.At
-			s.Lifetime = vtime.Duration(s.Exited - s.Created)
+			s.ExitedAt = e.At
+			s.Exited = true
 		}
 	}
 	out := make([]ThreadStats, 0, len(m))
 	for _, s := range m {
+		if s.Exited {
+			s.Lifetime = vtime.Duration(s.ExitedAt - s.Created)
+		} else {
+			s.Lifetime = vtime.Duration(end - s.Created)
+		}
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })

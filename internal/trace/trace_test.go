@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"spthreads/internal/trace"
+	"spthreads/internal/vtime"
 	"spthreads/pthread"
 )
 
@@ -113,23 +114,120 @@ func TestSummaryAggregates(t *testing.T) {
 		if s.Dispatches == 0 {
 			t.Errorf("thread %d: zero dispatches in summary", s.Thread)
 		}
-		if s.Exited < s.Created {
+		if !s.Exited {
+			t.Errorf("thread %d not marked exited after a completed run", s.Thread)
+		}
+		if s.ExitedAt < s.Created {
 			t.Errorf("thread %d exited before created", s.Thread)
+		}
+		if s.Lifetime != vtime.Duration(s.ExitedAt-s.Created) {
+			t.Errorf("thread %d lifetime %v != exit-create %v", s.Thread, s.Lifetime, s.ExitedAt-s.Created)
 		}
 	}
 }
 
-// TestRecorderCap: events beyond the capacity are counted as dropped.
+// TestSummaryNonExited: a thread with no exit event is reported as
+// still live, with its lifetime measured to the end of the trace — it
+// must not be confused with an instantly-exiting thread (lifetime 0).
+func TestSummaryNonExited(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	rec.Record(100, 0, 1, trace.KindCreate)
+	rec.Record(150, 0, 1, trace.KindDispatch)
+	rec.Record(250, 0, 2, trace.KindCreate)
+	rec.Record(250, 0, 2, trace.KindDispatch)
+	rec.Record(250, 0, 2, trace.KindExit) // thread 2 exits instantly
+	rec.Record(900, 0, 1, trace.KindPreempt)
+
+	sum := rec.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("summary has %d threads, want 2", len(sum))
+	}
+	live, exited := sum[0], sum[1]
+	if live.Exited {
+		t.Error("thread 1 marked exited without an exit event")
+	}
+	if want := vtime.Duration(900 - 100); live.Lifetime != want {
+		t.Errorf("live thread lifetime = %v, want end-of-trace-relative %v", live.Lifetime, want)
+	}
+	if !exited.Exited || exited.Lifetime != 0 {
+		t.Errorf("instant thread = {exited:%v lifetime:%v}, want {true 0}", exited.Exited, exited.Lifetime)
+	}
+}
+
+// TestRecorderCap: events beyond the capacity are counted as dropped,
+// the retained prefix is unperturbed, and the drop count survives into
+// the renderers' footers.
 func TestRecorderCap(t *testing.T) {
 	rec := trace.NewRecorder(4)
 	for i := 0; i < 10; i++ {
-		rec.Record(0, 0, int64(i), trace.KindCreate)
+		rec.RecordArg(vtime.Time(i), 0, int64(i), trace.KindCreate, int64(i*10))
 	}
 	if len(rec.Events()) != 4 {
 		t.Errorf("kept %d events, want 4", len(rec.Events()))
 	}
 	if rec.Dropped() != 6 {
 		t.Errorf("dropped = %d, want 6", rec.Dropped())
+	}
+	for i, e := range rec.Events() {
+		if e.Thread != int64(i) || e.Arg != int64(i*10) {
+			t.Errorf("event %d = %+v; oldest-kept order violated", i, e)
+		}
+	}
+	// A full recorder keeps dropping (and only counting).
+	rec.Record(100, 1, 99, trace.KindExit)
+	if rec.Dropped() != 7 || len(rec.Events()) != 4 {
+		t.Errorf("after extra record: dropped=%d kept=%d, want 7/4", rec.Dropped(), len(rec.Events()))
+	}
+	if out := rec.Gantt(1, 10); !strings.Contains(out, "7 events dropped") {
+		t.Errorf("gantt footer missing drop count:\n%s", out)
+	}
+}
+
+// TestGanttMajorityByBucket: when two threads share a bucket, the one
+// occupying it longer wins the cell — a later short segment must not
+// overwrite a dominant earlier one.
+func TestGanttMajorityByBucket(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	// One processor, 10 cycles per bucket at width 10 (end = 100).
+	// Thread 1 runs [0,97); thread 2 runs [97,100). In the last bucket
+	// [90,100) thread 1 occupies 7 cycles, thread 2 only 3: thread 1
+	// must win the cell even though thread 2's segment comes later.
+	rec.Record(0, 0, 1, trace.KindDispatch)
+	rec.Record(97, 0, 1, trace.KindExit)
+	rec.Record(97, 0, 2, trace.KindDispatch)
+	rec.Record(100, 0, 2, trace.KindExit)
+
+	out := rec.Gantt(1, 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("gantt = %d lines:\n%s", len(lines), out)
+	}
+	row := lines[1]
+	bars := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if bars != "1111111111" {
+		t.Errorf("row = %q, want thread 1 in every bucket (majority-by-duration)", bars)
+	}
+}
+
+// TestGanttGolden: fixed synthetic 2-processor trace renders exactly.
+func TestGanttGolden(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	// Proc 0: thread 1 for [0,50), thread 3 for [50,100).
+	rec.Record(0, 0, 1, trace.KindDispatch)
+	rec.Record(50, 0, 1, trace.KindBlock)
+	rec.Record(50, 0, 3, trace.KindDispatch)
+	rec.Record(100, 0, 3, trace.KindExit)
+	// Proc 1: idle until 30, thread 2 for [30,80), idle after.
+	rec.Record(30, 1, 2, trace.KindDispatch)
+	rec.Record(80, 1, 2, trace.KindPreempt)
+
+	got := rec.Gantt(2, 10)
+	want := "" +
+		"gantt: 10 buckets of 0.1us each\n" +
+		"p0  |1111133333|\n" +
+		"p1  |...22222..|\n"
+	if got != want {
+		t.Errorf("gantt mismatch:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

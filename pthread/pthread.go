@@ -31,7 +31,9 @@ package pthread
 import (
 	"spthreads/internal/core"
 	"spthreads/internal/dag"
+	"spthreads/internal/metrics"
 	"spthreads/internal/sched"
+	"spthreads/internal/spaceprof"
 	"spthreads/internal/trace"
 	"spthreads/internal/vtime"
 )
@@ -114,7 +116,20 @@ type Config struct {
 	// analysis (work, span, serial space S1, DOT export); attach a
 	// *dag.Builder from NewDAGBuilder.
 	DAG *dag.Builder
+	// Metrics, when non-nil, collects scheduler/memory instruments
+	// (dispatch latencies, lock waits, quota preemptions, ADF
+	// placeholder-list length, ...); the final snapshot is returned in
+	// Stats.Metrics. Attach a registry from NewMetrics.
+	Metrics *metrics.Registry
+	// SpaceProf, when non-nil, samples the live heap/stack footprint and
+	// thread count at every footprint change, producing the run's
+	// space-over-time curve. Attach a profiler from NewSpaceProfiler.
+	SpaceProf *spaceprof.Profiler
 }
+
+// Policies lists every selectable scheduling policy name, in a stable
+// order, for command-line validation and enumeration.
+func Policies() []Policy { return sched.Kinds() }
 
 // Run executes main as the root thread of a fresh simulated machine and
 // returns the run's statistics. It is an error for the computation to
@@ -129,6 +144,7 @@ func Run(cfg Config, main func(*T)) (Stats, error) {
 		Procs:          max(cfg.Procs, 1),
 		Seed:           cfg.Seed,
 		TimeSlice:      cfg.TimeSlice,
+		Metrics:        cfg.Metrics,
 	})
 	if err != nil {
 		return Stats{}, err
@@ -143,6 +159,8 @@ func Run(cfg Config, main func(*T)) (Stats, error) {
 		MaxSteps:     cfg.MaxSteps,
 		Quantum:      cfg.Quantum,
 		Tracer:       cfg.Tracer,
+		Metrics:      cfg.Metrics,
+		SpaceProf:    cfg.SpaceProf,
 	}
 	if cfg.DAG != nil {
 		ccfg.DAG = cfg.DAG
