@@ -1,0 +1,194 @@
+// Command benchdiff compares two of ptbench's machine-readable outputs
+// (BENCH_<id>.json) run-by-run and prints per-metric percent deltas.
+// With -threshold it exits non-zero when any metric regresses by more
+// than the given percentage — lower-is-better metrics (virtual time,
+// footprints, dispatch cost) growing, or higher-is-better metrics
+// (speedup) shrinking — making it usable as a CI regression gate:
+//
+//	ptbench -json fig1
+//	benchdiff -threshold 10 baseline/BENCH_fig1.json BENCH_fig1.json
+//
+// Runs are matched by (bench, policy, procs, live_threads); runs
+// present in only one file are reported but are not failures. Exit
+// status: 0 when within threshold, 1 on regression, 2 on usage or
+// unreadable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// metric describes one compared quantity.
+type metric struct {
+	name string
+	// higherIsBetter flips the regression direction (speedup).
+	higherIsBetter bool
+	get            func(r benchRun) (float64, bool)
+}
+
+// benchRun mirrors the numeric subset of harness.BenchRun that the
+// diff compares (parsed loosely so schema growth never breaks it).
+type benchRun struct {
+	Bench       string  `json:"bench"`
+	Policy      string  `json:"policy"`
+	Procs       int     `json:"procs"`
+	LiveThreads int     `json:"live_threads"`
+	TimeCycles  float64 `json:"time_cycles"`
+	Speedup     float64 `json:"speedup"`
+	HeapHWM     float64 `json:"heap_hwm_bytes"`
+	StackHWM    float64 `json:"stack_hwm_bytes"`
+	TotalHWM    float64 `json:"total_hwm_bytes"`
+	NSDispatch  float64 `json:"ns_per_dispatch"`
+	Analysis    *struct {
+		Work  float64 `json:"work_cycles"`
+		Depth float64 `json:"depth_cycles"`
+		S1    float64 `json:"serial_space_bytes"`
+		Peak  float64 `json:"peak_bytes"`
+	} `json:"analysis"`
+}
+
+type benchFile struct {
+	Experiment string     `json:"experiment"`
+	Runs       []benchRun `json:"runs"`
+}
+
+var metrics = []metric{
+	{"time_cycles", false, func(r benchRun) (float64, bool) { return r.TimeCycles, r.TimeCycles > 0 }},
+	{"speedup", true, func(r benchRun) (float64, bool) { return r.Speedup, r.Speedup > 0 }},
+	{"heap_hwm_bytes", false, func(r benchRun) (float64, bool) { return r.HeapHWM, r.HeapHWM > 0 }},
+	{"stack_hwm_bytes", false, func(r benchRun) (float64, bool) { return r.StackHWM, r.StackHWM > 0 }},
+	{"total_hwm_bytes", false, func(r benchRun) (float64, bool) { return r.TotalHWM, r.TotalHWM > 0 }},
+	{"ns_per_dispatch", false, func(r benchRun) (float64, bool) { return r.NSDispatch, r.NSDispatch > 0 }},
+	{"analysis.work_cycles", false, func(r benchRun) (float64, bool) {
+		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Work })
+	}},
+	{"analysis.depth_cycles", false, func(r benchRun) (float64, bool) {
+		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Depth })
+	}},
+	{"analysis.serial_space_bytes", false, func(r benchRun) (float64, bool) {
+		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.S1 })
+	}},
+	{"analysis.peak_bytes", false, func(r benchRun) (float64, bool) {
+		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Peak })
+	}},
+}
+
+func fromAnalysis(r benchRun, f func(struct{ Work, Depth, S1, Peak float64 }) float64) (float64, bool) {
+	if r.Analysis == nil {
+		return 0, false
+	}
+	v := f(struct{ Work, Depth, S1, Peak float64 }{r.Analysis.Work, r.Analysis.Depth, r.Analysis.S1, r.Analysis.Peak})
+	return v, v > 0
+}
+
+func key(r benchRun) string {
+	return fmt.Sprintf("%s|%s|p%d|n%d", r.Bench, r.Policy, r.Procs, r.LiveThreads)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0, "fail (exit 1) when any metric regresses by more than this percent (0: report only)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldF, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newF, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if oldF.Experiment != newF.Experiment {
+		fmt.Fprintf(stderr, "benchdiff: comparing different experiments: %q vs %q\n",
+			oldF.Experiment, newF.Experiment)
+		return 2
+	}
+
+	oldRuns := make(map[string]benchRun)
+	for _, r := range oldF.Runs {
+		oldRuns[key(r)] = r
+	}
+	var keys []string
+	newRuns := make(map[string]benchRun)
+	for _, r := range newF.Runs {
+		k := key(r)
+		newRuns[k] = r
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressed := false
+	for _, k := range keys {
+		nr := newRuns[k]
+		or, ok := oldRuns[k]
+		if !ok {
+			fmt.Fprintf(stdout, "%s: only in %s\n", k, fs.Arg(1))
+			continue
+		}
+		for _, m := range metrics {
+			ov, oOK := m.get(or)
+			nv, nOK := m.get(nr)
+			if !oOK || !nOK {
+				continue
+			}
+			delta := 100 * (nv - ov) / ov
+			worse := delta
+			if m.higherIsBetter {
+				worse = -delta
+			}
+			mark := ""
+			if *threshold > 0 && worse > *threshold {
+				mark = "  REGRESSION"
+				regressed = true
+			}
+			if math.Abs(delta) >= 0.005 || mark != "" {
+				fmt.Fprintf(stdout, "%-40s %-28s %14.6g -> %14.6g  %+7.2f%%%s\n",
+					k, m.name, ov, nv, delta, mark)
+			}
+		}
+	}
+	for k := range oldRuns {
+		if _, ok := newRuns[k]; !ok {
+			fmt.Fprintf(stdout, "%s: only in %s\n", k, fs.Arg(0))
+		}
+	}
+	if regressed {
+		fmt.Fprintf(stderr, "benchdiff: regressions beyond %.1f%%\n", *threshold)
+		return 1
+	}
+	return 0
+}
+
+func load(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}

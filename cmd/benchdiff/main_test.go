@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldBench = `{
+  "experiment": "fig5",
+  "runs": [
+    {"policy": "adf", "procs": 4, "time_cycles": 1000000, "total_hwm_bytes": 5000000, "speedup": 3.5},
+    {"policy": "fifo", "procs": 4, "time_cycles": 1100000, "total_hwm_bytes": 9000000}
+  ]
+}`
+
+// TestNoRegression: small improvements and identical runs pass.
+func TestNoRegression(t *testing.T) {
+	newBench := `{
+  "experiment": "fig5",
+  "runs": [
+    {"policy": "adf", "procs": 4, "time_cycles": 990000, "total_hwm_bytes": 5000000, "speedup": 3.6},
+    {"policy": "fifo", "procs": 4, "time_cycles": 1100000, "total_hwm_bytes": 9000000}
+  ]
+}`
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", oldBench), writeJSON(t, "new.json", newBench)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "time_cycles") {
+		t.Errorf("diff output missing changed metric:\n%s", out.String())
+	}
+}
+
+// TestRegressionFails: time growing past the threshold exits 1 and
+// names the regression.
+func TestRegressionFails(t *testing.T) {
+	newBench := `{
+  "experiment": "fig5",
+  "runs": [
+    {"policy": "adf", "procs": 4, "time_cycles": 1300000, "total_hwm_bytes": 5000000, "speedup": 3.5},
+    {"policy": "fifo", "procs": 4, "time_cycles": 1100000, "total_hwm_bytes": 9000000}
+  ]
+}`
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", oldBench), writeJSON(t, "new.json", newBench)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output missing REGRESSION marker:\n%s", out.String())
+	}
+}
+
+// TestSpeedupDirection: speedup shrinking is the regression, not
+// growing.
+func TestSpeedupDirection(t *testing.T) {
+	newBench := `{
+  "experiment": "fig5",
+  "runs": [
+    {"policy": "adf", "procs": 4, "time_cycles": 1000000, "total_hwm_bytes": 5000000, "speedup": 2.0},
+    {"policy": "fifo", "procs": 4, "time_cycles": 1100000, "total_hwm_bytes": 9000000}
+  ]
+}`
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", oldBench), writeJSON(t, "new.json", newBench)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (speedup fell 43%%)\nstdout: %s", code, out.String())
+	}
+}
+
+// TestZeroThresholdReportsOnly: without -threshold the tool never
+// fails, it only reports.
+func TestZeroThresholdReportsOnly(t *testing.T) {
+	newBench := `{
+  "experiment": "fig5",
+  "runs": [
+    {"policy": "adf", "procs": 4, "time_cycles": 9000000, "total_hwm_bytes": 5000000, "speedup": 0.5}
+  ]
+}`
+	var out, errb bytes.Buffer
+	code := run([]string{writeJSON(t, "old.json", oldBench), writeJSON(t, "new.json", newBench)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 without threshold\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "only in") {
+		t.Errorf("output missing unmatched-run note:\n%s", out.String())
+	}
+}
+
+// TestExperimentMismatchExits2: comparing different experiments is a
+// usage error.
+func TestExperimentMismatchExits2(t *testing.T) {
+	other := `{"experiment": "fig9", "runs": [{"policy": "adf"}]}`
+	var out, errb bytes.Buffer
+	code := run([]string{writeJSON(t, "old.json", oldBench), writeJSON(t, "new.json", other)}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+}
+
+// TestUsage: wrong arity and unreadable files exit 2.
+func TestUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("run() = %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &out, &errb); code != 2 {
+		t.Fatalf("run(missing) = %d, want 2", code)
+	}
+}
+
+// TestAnalysisMetricsCompared: analysis sub-metrics participate in the
+// diff.
+func TestAnalysisMetricsCompared(t *testing.T) {
+	oldA := `{"experiment": "bound-audit", "runs": [
+	  {"bench": "matmul", "policy": "adf", "procs": 8, "analysis": {"work_cycles": 1000, "depth_cycles": 100, "serial_space_bytes": 500, "peak_bytes": 600}}
+	]}`
+	newA := `{"experiment": "bound-audit", "runs": [
+	  {"bench": "matmul", "policy": "adf", "procs": 8, "analysis": {"work_cycles": 1000, "depth_cycles": 100, "serial_space_bytes": 500, "peak_bytes": 900}}
+	]}`
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "20",
+		writeJSON(t, "old.json", oldA), writeJSON(t, "new.json", newA)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (peak grew 50%%)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "analysis.peak_bytes") {
+		t.Errorf("output missing analysis metric:\n%s", out.String())
+	}
+}

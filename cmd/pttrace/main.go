@@ -5,38 +5,69 @@
 // scheduler. It can also export the run for interactive inspection:
 // Chrome trace-event JSON (load in https://ui.perfetto.dev or
 // chrome://tracing), a JSONL event stream, and the space-over-time
-// profile as CSV.
+// profile as CSV. With -analyze it reconstructs the run DAG and
+// reports W, D, W/D, S₁, and the attributed critical path; with -in it
+// skips the run and works from a previously recorded JSONL trace.
 //
 //	pttrace [-policy adf|fifo|lifo|ws|dfd|rr] [-procs 4] [-depth 5] [-width 100]
 //	        [-out trace.json] [-events events.jsonl] [-space space.csv]
-//	        [-dot dag.dot]
+//	        [-dot dag.dot] [-analyze] [-in events.jsonl]
+//
+// Exit status: 0 on success, 2 for usage errors — including an empty
+// or truncated -in trace file — and 1 for runtime/I/O failures.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
+	"spthreads/internal/analyze"
 	"spthreads/internal/trace"
 	"spthreads/pthread"
 )
 
 func main() {
-	policy := flag.String("policy", "adf", "scheduler: fifo, lifo, adf, ws, dfd, rr")
-	procs := flag.Int("procs", 4, "virtual processors")
-	depth := flag.Int("depth", 5, "fork-tree depth (2^depth leaves)")
-	width := flag.Int("width", 100, "gantt chart width in buckets")
-	outPath := flag.String("out", "", "write the run as Chrome trace-event JSON (Perfetto/chrome://tracing) to this file")
-	eventsPath := flag.String("events", "", "write the raw event stream as JSONL to this file")
-	spacePath := flag.String("space", "", "write the space-over-time profile as CSV to this file")
-	dotPath := flag.String("dot", "", "also write the computation DAG as Graphviz DOT to this file")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pttrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	policy := fs.String("policy", "adf", "scheduler: fifo, lifo, adf, ws, dfd, rr")
+	procs := fs.Int("procs", 4, "virtual processors")
+	depth := fs.Int("depth", 5, "fork-tree depth (2^depth leaves)")
+	width := fs.Int("width", 100, "gantt chart width in buckets")
+	outPath := fs.String("out", "", "write the run as Chrome trace-event JSON (Perfetto/chrome://tracing) to this file")
+	eventsPath := fs.String("events", "", "write the raw event stream as JSONL to this file")
+	spacePath := fs.String("space", "", "write the space-over-time profile as CSV to this file")
+	dotPath := fs.String("dot", "", "also write the computation DAG as Graphviz DOT to this file")
+	doAnalyze := fs.Bool("analyze", false, "reconstruct the run DAG and report W, D, W/D, S1, and the critical path")
+	inPath := fs.String("in", "", "analyze/render a recorded JSONL trace instead of running a program")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: pttrace [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *inPath != "" {
+		// Offline mode: everything must come from the trace file. The
+		// space profile and the DAG builder only exist on live runs.
+		if *spacePath != "" || *dotPath != "" {
+			fmt.Fprintln(stderr, "pttrace: -space and -dot need a live run and cannot be combined with -in")
+			fs.Usage()
+			return 2
+		}
+		return runOffline(*inPath, *procs, *width, *outPath, *eventsPath, *doAnalyze, stdout, stderr, fs.Usage)
+	}
 
 	if !validPolicy(*policy) {
-		fmt.Fprintf(os.Stderr, "pttrace: unknown policy %q (valid: %s)\n\n", *policy, policyNames())
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "pttrace: unknown policy %q (valid: %s)\n\n", *policy, policyNames())
+		fs.Usage()
+		return 2
 	}
 
 	rec := pthread.NewTraceRecorder(1 << 20)
@@ -73,37 +104,39 @@ func main() {
 	}
 	stats, err := pthread.Run(cfg, func(t *pthread.T) { tree(t, *depth) })
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "pttrace: %v\n", err)
+		return 1
 	}
 
-	fmt.Printf("policy=%s procs=%d: %d threads, peak live %d, time %v, heap HWM %d B\n\n",
+	fmt.Fprintf(stdout, "policy=%s procs=%d: %d threads, peak live %d, time %v, heap HWM %d B\n\n",
 		*policy, *procs, stats.ThreadsCreated, stats.PeakLive, stats.Time, stats.HeapHWM)
 	if g != nil {
 		if err := os.WriteFile(*dotPath, []byte(g.DOT()), 0o644); err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "pttrace: %v\n", err)
+			return 1
 		}
-		fmt.Printf("DAG: work %v, span %v, parallelism %.1f, S1 %d B -> %s\n\n",
+		fmt.Fprintf(stdout, "DAG: work %v, span %v, parallelism %.1f, S1 %d B -> %s\n\n",
 			g.TotalWork(), g.Span(), float64(g.TotalWork())/float64(g.Span()), g.SerialSpace(1), *dotPath)
 	}
-	fmt.Print(rec.Gantt(*procs, *width))
+	fmt.Fprint(stdout, rec.Gantt(*procs, *width))
 
-	fmt.Println("\nspace over virtual time:")
-	fmt.Print(prof.Curves(*width))
+	fmt.Fprintln(stdout, "\nspace over virtual time:")
+	fmt.Fprint(stdout, prof.Curves(*width))
 
 	if m := stats.Metrics; m != nil {
-		fmt.Printf("\nmetrics: dispatches=%d quota-preempts=%d dummy-forks=%d",
+		fmt.Fprintf(stdout, "\nmetrics: dispatches=%d quota-preempts=%d dummy-forks=%d",
 			m.Counters["sched.dispatches"], m.Counters["sched.quota.preempts"],
 			m.Counters["sched.dummy.forks"])
 		if h, ok := m.Histograms["sched.dispatch.wait"]; ok {
-			fmt.Printf(" dispatch-wait-p50=%dcy p99=%dcy", h.P50, h.P99)
+			fmt.Fprintf(stdout, " dispatch-wait-p50=%dcy p99=%dcy", h.P50, h.P99)
 		}
 		if gv, ok := m.Gauges["adf.placeholders"]; ok {
-			fmt.Printf(" max-placeholders=%d", gv.Max)
+			fmt.Fprintf(stdout, " max-placeholders=%d", gv.Max)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	fmt.Println("\nbusiest threads (by dispatch count):")
+	fmt.Fprintln(stdout, "\nbusiest threads (by dispatch count):")
 	sum := rec.Summary()
 	shown := 0
 	for i := len(sum) - 1; i >= 0 && shown < 5; i-- {
@@ -111,52 +144,139 @@ func main() {
 		if s.Dispatches < 2 {
 			continue
 		}
-		fmt.Printf("  thread %-4d dispatched %d times, lifetime %v\n", s.Thread, s.Dispatches, s.Lifetime)
+		fmt.Fprintf(stdout, "  thread %-4d dispatched %d times, lifetime %v\n", s.Thread, s.Dispatches, s.Lifetime)
 		shown++
 	}
 	if shown == 0 {
-		fmt.Println("  (every thread ran in a single dispatch)")
+		fmt.Fprintln(stdout, "  (every thread ran in a single dispatch)")
+	}
+
+	if *doAnalyze {
+		var quota int64
+		if pthread.Policy(*policy) == pthread.PolicyADF {
+			quota = pthread.DefaultMemQuota
+		}
+		rep, err := analyze.Analyze(rec, analyze.Options{
+			Policy:       *policy,
+			Procs:        *procs,
+			Quota:        quota,
+			DefaultStack: pthread.SmallStackSize,
+			PeakHeap:     stats.HeapHWM,
+			PeakStack:    stats.StackHWM,
+			Peak:         stats.TotalHWM,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "pttrace: analyze: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "\nrun DAG analysis:")
+		rep.WriteText(stdout)
 	}
 
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeFile(*outPath, func(f io.Writer) error {
+			return rec.WriteChrome(f, *procs, spaceCounters(prof))
+		}); err != nil {
+			fmt.Fprintf(stderr, "pttrace: %v\n", err)
+			return 1
 		}
-		if err := rec.WriteChrome(f, *procs, spaceCounters(prof)); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nwrote Chrome trace -> %s (load in https://ui.perfetto.dev)\n", *outPath)
+		fmt.Fprintf(stdout, "\nwrote Chrome trace -> %s (load in https://ui.perfetto.dev)\n", *outPath)
 	}
 	if *eventsPath != "" {
-		f, err := os.Create(*eventsPath)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeFile(*eventsPath, rec.WriteJSONL); err != nil {
+			fmt.Fprintf(stderr, "pttrace: %v\n", err)
+			return 1
 		}
-		if err := rec.WriteJSONL(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %d events as JSONL -> %s\n", len(rec.Events()), *eventsPath)
+		fmt.Fprintf(stdout, "wrote %d events as JSONL -> %s\n", len(rec.Events()), *eventsPath)
 	}
 	if *spacePath != "" {
-		f, err := os.Create(*spacePath)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeFile(*spacePath, prof.WriteCSV); err != nil {
+			fmt.Fprintf(stderr, "pttrace: %v\n", err)
+			return 1
 		}
-		if err := prof.WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote space profile CSV -> %s\n", *spacePath)
+		fmt.Fprintf(stdout, "wrote space profile CSV -> %s\n", *spacePath)
 	}
+	return 0
+}
+
+// runOffline serves -in: load a recorded trace and render/export/
+// analyze it. An empty or truncated trace is a usage error (exit 2) —
+// every downstream view would be silently wrong.
+func runOffline(inPath string, procs, width int, outPath, eventsPath string, doAnalyze bool, stdout, stderr io.Writer, usage func()) int {
+	f, err := os.Open(inPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "pttrace: %v\n", err)
+		return 1
+	}
+	rec, rerr := trace.ReadJSONL(f)
+	f.Close()
+	if rerr != nil {
+		fmt.Fprintf(stderr, "pttrace: %s: %v\n", inPath, rerr)
+		usage()
+		return 2
+	}
+	if len(rec.Events()) == 0 {
+		fmt.Fprintf(stderr, "pttrace: %s: empty trace (no events)\n", inPath)
+		usage()
+		return 2
+	}
+	// Infer the processor count from the events unless overridden.
+	maxProc := -1
+	for _, e := range rec.Events() {
+		if e.Proc > maxProc {
+			maxProc = e.Proc
+		}
+	}
+	if procs <= 0 || maxProc+1 > procs {
+		procs = maxProc + 1
+	}
+	if procs <= 0 {
+		procs = 1
+	}
+
+	fmt.Fprintf(stdout, "trace %s: %d events, %d processors\n\n", inPath, len(rec.Events()), procs)
+	fmt.Fprint(stdout, rec.Gantt(procs, width))
+
+	if doAnalyze {
+		rep, err := analyze.Analyze(rec, analyze.Options{Procs: procs})
+		if err != nil {
+			fmt.Fprintf(stderr, "pttrace: %s: %v\n", inPath, err)
+			usage()
+			return 2
+		}
+		fmt.Fprintln(stdout, "\nrun DAG analysis:")
+		rep.WriteText(stdout)
+	}
+
+	if outPath != "" {
+		if err := writeFile(outPath, func(f io.Writer) error {
+			return rec.WriteChrome(f, procs, nil)
+		}); err != nil {
+			fmt.Fprintf(stderr, "pttrace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nwrote Chrome trace -> %s (load in https://ui.perfetto.dev)\n", outPath)
+	}
+	if eventsPath != "" {
+		if err := writeFile(eventsPath, rec.WriteJSONL); err != nil {
+			fmt.Fprintf(stderr, "pttrace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "rewrote %d events as JSONL -> %s\n", len(rec.Events()), eventsPath)
+	}
+	return 0
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // spaceCounters converts the space profile into Chrome counter tracks

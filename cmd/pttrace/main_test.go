@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOfflineEmptyTraceExits2: -in with a zero-event trace file must
+// exit 2 with usage, for every combination of view flags (this used to
+// be unreachable; the offline path must never panic on an empty
+// recorder).
+func TestOfflineEmptyTraceExits2(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-analyze"},
+		{"-events", filepath.Join(t.TempDir(), "out.jsonl")},
+		{"-out", filepath.Join(t.TempDir(), "out.json")},
+		{},
+	} {
+		var out, errb bytes.Buffer
+		args := append([]string{"-in", empty}, extra...)
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2\nstderr: %s", args, code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "empty trace") {
+			t.Errorf("run(%v) stderr missing empty-trace diagnostic: %s", args, errb.String())
+		}
+		if !strings.Contains(errb.String(), "usage:") {
+			t.Errorf("run(%v) stderr missing usage: %s", args, errb.String())
+		}
+	}
+}
+
+// TestOfflineTruncatedTraceExits2: a trace file cut mid-line (a killed
+// run, a partial copy) is a usage error, not a silent partial analysis.
+func TestOfflineTruncatedTraceExits2(t *testing.T) {
+	trunc := filepath.Join(t.TempDir(), "trunc.jsonl")
+	content := `{"ts":0,"proc":0,"thread":1,"kind":"dispatch"}` + "\n" + `{"ts":10,"proc":0,"thr`
+	if err := os.WriteFile(trunc, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", trunc, "-analyze"}, &out, &errb); code != 2 {
+		t.Fatalf("run = %d, want 2\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "malformed or truncated") {
+		t.Errorf("stderr missing truncation diagnostic: %s", errb.String())
+	}
+}
+
+// TestOfflineRejectsLiveOnlyFlags: -space and -dot need a live run.
+func TestOfflineRejectsLiveOnlyFlags(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := os.WriteFile(f, []byte(`{"ts":0,"proc":0,"thread":1,"kind":"dispatch"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", f, "-space", "s.csv"}, &out, &errb); code != 2 {
+		t.Fatalf("-in -space = %d, want 2", code)
+	}
+	if code := run([]string{"-in", f, "-dot", "d.dot"}, &out, &errb); code != 2 {
+		t.Fatalf("-in -dot = %d, want 2", code)
+	}
+}
+
+// TestUnknownPolicyExits2 preserves the live-mode usage contract.
+func TestUnknownPolicyExits2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-policy", "warp"}, &out, &errb); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+}
+
+// TestRoundTripAnalyze: a live run exported as JSONL re-analyzes
+// offline — the full record-export-reload-reconstruct loop.
+func TestRoundTripAnalyze(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{"-policy", "adf", "-procs", "2", "-depth", "3", "-width", "40",
+		"-events", events, "-analyze"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("live run = %d\nstderr: %s", code, errb.String())
+	}
+	live := out.String()
+	if !strings.Contains(live, "run DAG analysis:") || !strings.Contains(live, "work W") {
+		t.Errorf("live -analyze output missing report:\n%s", live)
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-in", events, "-analyze", "-width", "40"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("offline run = %d\nstderr: %s", code, errb.String())
+	}
+	offline := out.String()
+	for _, want := range []string{"run DAG analysis:", "work W", "depth D", "serial S1", "critical path"} {
+		if !strings.Contains(offline, want) {
+			t.Errorf("offline -analyze output missing %q:\n%s", want, offline)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"spthreads/internal/vtime"
+)
+
+// This file extracts the run's concrete critical path — the chain of
+// segments and dependencies ending at the last thread exit — and
+// attributes its wall-clock duration to categories. The walk goes
+// backward in time: from the final exit through each segment, then
+// across the dependency that made the segment start when it did (a
+// fork edge to the parent, a join edge to the joined child, or a
+// scheduler gap on the same thread), until it reaches the root's
+// creation at time zero.
+
+// PathBreakdown attributes the critical path's wall-clock duration.
+// The categories sum to the makespan up to clock skew between
+// processors; whatever the walk could not explain lands in
+// Unattributed.
+type PathBreakdown struct {
+	// Compute is time the path spent executing on a processor.
+	Compute vtime.Duration `json:"compute_cycles"`
+	// Ready is time spent runnable but undispached: fork-to-first-run,
+	// preempt-to-redispatch, and join-wake-to-redispatch waits.
+	Ready vtime.Duration `json:"ready_cycles"`
+	// Lock is time blocked acquiring a contended mutex.
+	Lock vtime.Duration `json:"lock_cycles"`
+	// Quota is redispatch wait after an ADF memory-quota preemption.
+	Quota vtime.Duration `json:"quota_cycles"`
+	// Dummy is redispatch wait after a preemption that forked dummy
+	// throttling threads for an oversized allocation.
+	Dummy vtime.Duration `json:"dummy_cycles"`
+	// Blocked is other blocking: condition variables, semaphores,
+	// sleeps.
+	Blocked vtime.Duration `json:"blocked_cycles"`
+	// Unattributed is makespan the walk could not classify.
+	Unattributed vtime.Duration `json:"unattributed_cycles"`
+	// Hops counts the path's segments (scheduling slices traversed).
+	Hops int `json:"hops"`
+}
+
+// criticalPath walks backward from the run's final exit.
+func (a *analysis) criticalPath() PathBreakdown {
+	var pb PathBreakdown
+	cur := a.endThread()
+	if cur == nil || len(cur.segs) == 0 {
+		pb.Unattributed = vtime.Duration(a.horizon)
+		return pb
+	}
+	si := len(cur.segs) - 1
+	upTo := cur.segs[si].to
+	// Each iteration consumes one segment; jumps move strictly
+	// backward in time, so the walk terminates, but cap it anyway
+	// against malformed traces.
+	for steps := 4*len(a.events) + 16; steps > 0; steps-- {
+		s := cur.segs[si]
+		to := s.to
+		if upTo < to {
+			to = upTo
+		}
+		if to > s.from {
+			pb.Compute += vtime.Duration(to - s.from)
+		}
+		pb.Hops++
+
+		if si == 0 {
+			// The thread's first segment: the gap back to its creation
+			// is ready-queue wait, and the path continues in the parent
+			// at the fork point.
+			if gap := s.from - cur.createAt; gap > 0 {
+				pb.Ready += vtime.Duration(gap)
+			}
+			parent := a.threads[cur.parent]
+			if cur.parent == 0 || parent == nil || len(parent.segs) == 0 {
+				break // reached the root (or an orphan: nothing above it)
+			}
+			forkAt := cur.createAt
+			cur = parent
+			si = findSeg(parent, forkAt)
+			upTo = forkAt
+			continue
+		}
+
+		prev := cur.segs[si-1]
+		gap := vtime.Duration(s.from - prev.to)
+		if gap < 0 {
+			gap = 0
+		}
+		switch prev.close {
+		case closeBlock:
+			// Why did the thread block? A segment whose first recorded
+			// operation is a join means the block was a join wait — the
+			// path continues in the joined child. A first lock-acquire
+			// with blocked cycles means mutex contention. Anything else
+			// is condition/semaphore/sleep blocking.
+			if tgt := a.threads[s.joinTarget]; s.joinTarget != 0 && tgt != nil &&
+				len(tgt.segs) > 0 && tgt.exited && tgt.exitAt >= prev.to {
+				wake := tgt.exitAt
+				if w, ok := lastWakeIn(cur, prev.to, s.from); ok && w > wake {
+					wake = w
+				}
+				if wake > s.from {
+					wake = s.from
+				}
+				// Between the child's exit (or the wake it sent) and
+				// the redispatch, the joiner sat in the ready queue.
+				pb.Ready += vtime.Duration(s.from - wake)
+				cur = tgt
+				si = len(tgt.segs) - 1
+				upTo = tgt.segs[si].to
+				continue
+			}
+			if s.lockWait >= 0 {
+				pb.Lock += gap
+			} else {
+				pb.Blocked += gap
+			}
+		case closePreempt:
+			switch {
+			case prev.quotaClose:
+				pb.Quota += gap
+			case prev.hasDummy:
+				pb.Dummy += gap
+			default:
+				pb.Ready += gap
+			}
+		default:
+			// closeExit/closeOpen followed by another segment of the
+			// same thread: only possible with dropped events.
+			pb.Unattributed += gap
+		}
+		si--
+		upTo = prev.to
+	}
+	// Clock skew between processors can leave a sliver of the makespan
+	// unexplained; report it rather than silently stretching a
+	// category.
+	sum := pb.Compute + pb.Ready + pb.Lock + pb.Quota + pb.Dummy + pb.Blocked + pb.Unattributed
+	if miss := vtime.Duration(a.horizon) - sum; miss > 0 {
+		pb.Unattributed += miss
+	}
+	return pb
+}
+
+// endThread picks the thread whose completion defines the makespan:
+// the last exit in record order, falling back (for truncated traces
+// with no exits) to the thread running latest.
+func (a *analysis) endThread() *threadRec {
+	if a.lastExit >= 0 {
+		return a.threads[a.lastExit]
+	}
+	var best *threadRec
+	var bestTo vtime.Time = -1
+	for _, id := range a.order {
+		r := a.threads[id]
+		if n := len(r.segs); n > 0 && r.segs[n-1].to > bestTo {
+			best, bestTo = r, r.segs[n-1].to
+		}
+	}
+	return best
+}
+
+// findSeg returns the index of the last segment starting at or before
+// t (0 when t precedes every segment).
+func findSeg(r *threadRec, t vtime.Time) int {
+	i := sort.Search(len(r.segs), func(i int) bool { return r.segs[i].from > t })
+	if i > 0 {
+		i--
+	}
+	return i
+}
+
+// lastWakeIn returns the thread's latest wake event within (lo, hi].
+func lastWakeIn(r *threadRec, lo, hi vtime.Time) (vtime.Time, bool) {
+	i := sort.Search(len(r.wakes), func(i int) bool { return r.wakes[i] > hi })
+	if i == 0 {
+		return 0, false
+	}
+	w := r.wakes[i-1]
+	if w <= lo {
+		return 0, false
+	}
+	return w, true
+}
+
+func (pb *PathBreakdown) writeText(w io.Writer, makespan vtime.Duration) {
+	fmt.Fprintf(w, "critical path (%d hops):\n", pb.Hops)
+	pct := func(d vtime.Duration) float64 {
+		if makespan <= 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(makespan)
+	}
+	rows := []struct {
+		name string
+		d    vtime.Duration
+	}{
+		{"compute", pb.Compute},
+		{"ready-queue wait", pb.Ready},
+		{"lock contention", pb.Lock},
+		{"quota preemption", pb.Quota},
+		{"dummy throttling", pb.Dummy},
+		{"other blocking", pb.Blocked},
+		{"unattributed", pb.Unattributed},
+	}
+	for _, row := range rows {
+		if row.d == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-17s %10s  %5.1f%%\n", row.name, row.d, pct(row.d))
+	}
+}

@@ -27,7 +27,7 @@ func (m *Machine) Fork(t *Thread, attr Attr, fn func(*Thread)) *Thread {
 	m.checkRunning(t, "Fork")
 	child := m.newThread(attr, fn)
 	if tr := m.cfg.Tracer; tr != nil {
-		tr.Record(t.proc.clock, t.proc.id, child.ID, trace.KindCreate)
+		tr.RecordArg(t.proc.clock, t.proc.id, child.ID, trace.KindCreate, t.ID)
 	}
 	if g := m.cfg.DAG; g != nil {
 		g.Fork(t.ID, child.ID)
@@ -37,6 +37,9 @@ func (m *Machine) Fork(t *Thread, attr Attr, fn func(*Thread)) *Thread {
 	addr, cost, fresh := m.mem.AllocStack(child.stackSize)
 	child.stackAddr = addr
 	m.chargeMem(t, cost)
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.RecordArg(t.proc.clock, t.proc.id, child.ID, trace.KindStackAlloc, child.stackSize)
+	}
 	m.sampleSpace(t.proc.clock)
 	if fresh {
 		// A fresh stack required mapping address space in the kernel; a
@@ -78,6 +81,9 @@ func (m *Machine) Join(t *Thread, target *Thread) error {
 		t.switchOut(action{kind: actBlock})
 	}
 	m.chargeOps(t, m.cm.ThreadJoin)
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.RecordArg(t.proc.clock, t.proc.id, t.ID, trace.KindJoin, target.ID)
+	}
 	if g := m.cfg.DAG; g != nil {
 		g.Join(t.ID, target.ID)
 	}

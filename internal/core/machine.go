@@ -250,7 +250,8 @@ func (m *Machine) run(main func(*Thread)) (Stats, error) {
 	// The root's stack predates the run; count its footprint silently.
 	root.stackAddr, _, _ = m.mem.AllocStack(root.stackSize)
 	if tr := m.cfg.Tracer; tr != nil {
-		tr.Record(0, -1, root.ID, trace.KindCreate)
+		tr.Record(0, -1, root.ID, trace.KindCreate) // Arg 0: the root has no parent
+		tr.RecordArg(0, -1, root.ID, trace.KindStackAlloc, root.stackSize)
 	}
 	m.admit(root)
 	m.sampleSpace(0)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"spthreads/internal/analyze"
 	"spthreads/internal/metrics"
 	"spthreads/internal/spaceprof"
 	"spthreads/internal/vtime"
@@ -19,6 +20,9 @@ import (
 type BenchRun struct {
 	Policy string `json:"policy"`
 	Procs  int    `json:"procs,omitempty"`
+	// Bench names the benchmark program for experiments that sweep
+	// several under one id (the bound-audit matrix).
+	Bench string `json:"bench,omitempty"`
 
 	// Virtual-time results.
 	TimeCycles int64   `json:"time_cycles,omitempty"`
@@ -46,6 +50,10 @@ type BenchRun struct {
 	// Host-side measurements (the dispatch experiment).
 	LiveThreads   int     `json:"live_threads,omitempty"`
 	NSPerDispatch float64 `json:"ns_per_dispatch,omitempty"`
+
+	// Analysis is the trace analyzer's report (W/D/S1/critical path),
+	// present for experiments that reconstruct the run DAG.
+	Analysis *analyze.Report `json:"analysis,omitempty"`
 }
 
 // BenchResult is one experiment's machine-readable output.

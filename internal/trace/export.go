@@ -107,12 +107,16 @@ func (r *Recorder) WriteChrome(w io.Writer, procs int, counters []CounterSample)
 		}
 		args := map[string]any{"thread": e.Thread, "cycles": int64(e.At)}
 		switch e.Kind {
-		case KindAlloc, KindFree, KindQuotaExhausted:
+		case KindAlloc, KindFree, KindQuotaExhausted, KindStackAlloc:
 			args["bytes"] = e.Arg
 		case KindDummyFork:
 			args["dummies"] = e.Arg
 		case KindLockAcquire:
 			args["blocked_cycles"] = e.Arg
+		case KindCreate:
+			args["parent"] = e.Arg
+		case KindJoin:
+			args["target"] = e.Arg
 		}
 		evs = append(evs, chromeEvent{
 			Name:  e.Kind.String(),
@@ -167,7 +171,7 @@ func (r *Recorder) WriteChrome(w io.Writer, procs int, counters []CounterSample)
 // category groups kinds for the Chrome trace's cat field.
 func category(k Kind) string {
 	switch k {
-	case KindAlloc, KindFree, KindQuotaExhausted, KindDummyFork:
+	case KindAlloc, KindFree, KindQuotaExhausted, KindDummyFork, KindStackAlloc:
 		return "memory"
 	case KindLockAcquire:
 		return "sync"

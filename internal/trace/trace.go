@@ -42,6 +42,15 @@ const (
 	// (cycles) the thread was blocked waiting, 0 for an uncontended
 	// fast-path acquire.
 	KindLockAcquire
+	// KindJoin marks the completion of a join: the event's thread is the
+	// joiner, Arg is the id of the joined (exited) thread. Together with
+	// KindCreate's parent payload it makes the recorded event stream a
+	// complete fork-join DAG — offline analyzers need no heuristics.
+	KindJoin
+	// KindStackAlloc marks the mapping of a thread's stack at creation;
+	// Arg is the stack size in bytes. It lets space replays account
+	// per-thread stacks exactly even when threads use non-default sizes.
+	KindStackAlloc
 )
 
 // String returns the kind's name.
@@ -69,6 +78,10 @@ func (k Kind) String() string {
 		return "dummy-fork"
 	case KindLockAcquire:
 		return "lock-acquire"
+	case KindJoin:
+		return "join"
+	case KindStackAlloc:
+		return "stack-alloc"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -80,9 +93,10 @@ type Event struct {
 	Proc   int // processor involved, -1 if none
 	Thread int64
 	Kind   Kind
-	// Arg is the kind-specific payload: bytes for alloc/free/quota
-	// events, dummy count for dummy-fork, blocked cycles for
-	// lock-acquire, 0 otherwise.
+	// Arg is the kind-specific payload: bytes for alloc/free/quota and
+	// stack-alloc events, dummy count for dummy-fork, blocked cycles for
+	// lock-acquire, the parent thread id for create (0 for the root),
+	// the joined thread id for join, 0 otherwise.
 	Arg int64
 }
 
