@@ -7,11 +7,15 @@
 //
 //	ptbench -json fig1
 //	benchdiff -threshold 10 baseline/BENCH_fig1.json BENCH_fig1.json
+//	benchdiff -threshold 10 -metric sched.lock.wait old.json new.json
 //
-// Runs are matched by (bench, policy, procs, live_threads); runs
-// present in only one file are reported but are not failures. Exit
-// status: 0 when within threshold, 1 on regression, 2 on usage or
-// unreadable input.
+// -metric restricts the comparison to a comma-separated list of metric
+// names; sched.lock.wait (the scheduler-lock wait histogram sum from
+// the run's metrics snapshot) lets CI gate contention as well as
+// runtime. Runs are matched by (bench, policy, procs, live_threads) and,
+// when present, the scheduler batch size; runs present in only one file
+// are reported but are not failures. Exit status: 0 when within
+// threshold, 1 on regression, 2 on usage or unreadable input.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 )
 
 // metric describes one compared quantity.
@@ -38,6 +43,7 @@ type benchRun struct {
 	Bench       string  `json:"bench"`
 	Policy      string  `json:"policy"`
 	Procs       int     `json:"procs"`
+	Batch       int     `json:"batch"`
 	LiveThreads int     `json:"live_threads"`
 	TimeCycles  float64 `json:"time_cycles"`
 	Speedup     float64 `json:"speedup"`
@@ -45,7 +51,13 @@ type benchRun struct {
 	StackHWM    float64 `json:"stack_hwm_bytes"`
 	TotalHWM    float64 `json:"total_hwm_bytes"`
 	NSDispatch  float64 `json:"ns_per_dispatch"`
-	Analysis    *struct {
+	Metrics     *struct {
+		Histograms map[string]struct {
+			Count float64 `json:"count"`
+			Sum   float64 `json:"sum"`
+		} `json:"histograms"`
+	} `json:"metrics"`
+	Analysis *struct {
 		Work  float64 `json:"work_cycles"`
 		Depth float64 `json:"depth_cycles"`
 		S1    float64 `json:"serial_space_bytes"`
@@ -77,6 +89,17 @@ var metrics = []metric{
 	{"analysis.peak_bytes", false, func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Peak })
 	}},
+	// Contention: total virtual time spent waiting on the scheduler lock
+	// (histogram sum from the run's metrics snapshot). Zero is a valid
+	// value — an uncontended run is comparable and any growth is a
+	// regression — so presence of the histogram, not positivity, gates it.
+	{"sched.lock.wait", false, func(r benchRun) (float64, bool) {
+		if r.Metrics == nil {
+			return 0, false
+		}
+		h, ok := r.Metrics.Histograms["sched.lock.wait"]
+		return h.Sum, ok
+	}},
 }
 
 func fromAnalysis(r benchRun, f func(struct{ Work, Depth, S1, Peak float64 }) float64) (float64, bool) {
@@ -88,7 +111,11 @@ func fromAnalysis(r benchRun, f func(struct{ Work, Depth, S1, Peak float64 }) fl
 }
 
 func key(r benchRun) string {
-	return fmt.Sprintf("%s|%s|p%d|n%d", r.Bench, r.Policy, r.Procs, r.LiveThreads)
+	k := fmt.Sprintf("%s|%s|p%d|n%d", r.Bench, r.Policy, r.Procs, r.LiveThreads)
+	if r.Batch > 0 {
+		k += fmt.Sprintf("|b%d", r.Batch)
+	}
+	return k
 }
 
 func main() {
@@ -99,8 +126,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0, "fail (exit 1) when any metric regresses by more than this percent (0: report only)")
+	metricFlag := fs.String("metric", "", "comma-separated metric names to compare (default: all); e.g. -metric sched.lock.wait")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] old.json new.json")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] [-metric name,...] old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +137,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() != 2 {
 		fs.Usage()
 		return 2
+	}
+	compared := metrics
+	if *metricFlag != "" {
+		byName := make(map[string]metric, len(metrics))
+		for _, m := range metrics {
+			byName[m.name] = m
+		}
+		compared = nil
+		for _, name := range strings.Split(*metricFlag, ",") {
+			name = strings.TrimSpace(name)
+			m, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "benchdiff: unknown -metric %q (known: %s)\n",
+					name, strings.Join(metricNames(), ", "))
+				return 2
+			}
+			compared = append(compared, m)
+		}
 	}
 	oldF, err := load(fs.Arg(0))
 	if err != nil {
@@ -147,13 +193,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s: only in %s\n", k, fs.Arg(1))
 			continue
 		}
-		for _, m := range metrics {
+		for _, m := range compared {
 			ov, oOK := m.get(or)
 			nv, nOK := m.get(nr)
 			if !oOK || !nOK {
 				continue
 			}
-			delta := 100 * (nv - ov) / ov
+			var delta float64
+			switch {
+			case ov != 0:
+				delta = 100 * (nv - ov) / ov
+			case nv != 0:
+				// From zero to nonzero: infinite relative growth — always
+				// past any threshold for a lower-is-better metric.
+				delta = math.Inf(1)
+				if nv < 0 {
+					delta = math.Inf(-1)
+				}
+			}
 			worse := delta
 			if m.higherIsBetter {
 				worse = -delta
@@ -179,6 +236,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+func metricNames() []string {
+	var names []string
+	for _, m := range metrics {
+		names = append(names, m.name)
+	}
+	return names
 }
 
 func load(path string) (*benchFile, error) {

@@ -125,6 +125,74 @@ func TestUsage(t *testing.T) {
 	}
 }
 
+// TestLockWaitMetric: the scheduler-lock wait histogram sum from the
+// metrics snapshot is compared, -metric restricts the diff to it, and
+// batch sizes key separate runs.
+func TestLockWaitMetric(t *testing.T) {
+	oldC := `{"experiment": "contention", "runs": [
+	  {"bench": "matmul", "policy": "adf", "procs": 64, "batch": 1, "time_cycles": 1000,
+	   "metrics": {"histograms": {"sched.lock.wait": {"count": 100, "sum": 50000}}}},
+	  {"bench": "matmul", "policy": "adf", "procs": 64, "batch": 64, "time_cycles": 900,
+	   "metrics": {"histograms": {"sched.lock.wait": {"count": 10, "sum": 1000}}}}
+	]}`
+	newC := `{"experiment": "contention", "runs": [
+	  {"bench": "matmul", "policy": "adf", "procs": 64, "batch": 1, "time_cycles": 1000,
+	   "metrics": {"histograms": {"sched.lock.wait": {"count": 100, "sum": 50000}}}},
+	  {"bench": "matmul", "policy": "adf", "procs": 64, "batch": 64, "time_cycles": 2500,
+	   "metrics": {"histograms": {"sched.lock.wait": {"count": 50, "sum": 9000}}}}
+	]}`
+	// Restricted to sched.lock.wait: the batch=64 row's 9x growth fails;
+	// time_cycles' growth is ignored under -metric.
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10", "-metric", "sched.lock.wait",
+		writeJSON(t, "old.json", oldC), writeJSON(t, "new.json", newC)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (lock wait grew 9x)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "sched.lock.wait") {
+		t.Errorf("output missing sched.lock.wait metric:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "time_cycles") {
+		t.Errorf("-metric sched.lock.wait still compared time_cycles:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "|b64") {
+		t.Errorf("run key missing batch component:\n%s", out.String())
+	}
+}
+
+// TestMetricFlagUnknownName: a bogus -metric name is a usage error that
+// lists the known metrics.
+func TestMetricFlagUnknownName(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-metric", "bogus",
+		writeJSON(t, "old.json", oldBench), writeJSON(t, "new.json", oldBench)}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "sched.lock.wait") {
+		t.Errorf("error does not list known metrics:\n%s", errb.String())
+	}
+}
+
+// TestZeroToNonzeroLockWait: a metric going from zero (uncontended) to
+// nonzero is a regression at any threshold.
+func TestZeroToNonzeroLockWait(t *testing.T) {
+	oldC := `{"experiment": "contention", "runs": [
+	  {"bench": "matmul", "policy": "adf", "procs": 8, "batch": 4,
+	   "metrics": {"histograms": {"sched.lock.wait": {"count": 0, "sum": 0}}}}
+	]}`
+	newC := `{"experiment": "contention", "runs": [
+	  {"bench": "matmul", "policy": "adf", "procs": 8, "batch": 4,
+	   "metrics": {"histograms": {"sched.lock.wait": {"count": 5, "sum": 800}}}}
+	]}`
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "50", "-metric", "sched.lock.wait",
+		writeJSON(t, "old.json", oldC), writeJSON(t, "new.json", newC)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (0 -> 800)\nstdout: %s", code, out.String())
+	}
+}
+
 // TestAnalysisMetricsCompared: analysis sub-metrics participate in the
 // diff.
 func TestAnalysisMetricsCompared(t *testing.T) {

@@ -65,7 +65,8 @@ func main() {
 	for _, id := range ids {
 		e, ok := harness.Find(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "ptbench: unknown experiment %q (try: ptbench list)\n", id)
+			fmt.Fprintf(os.Stderr, "ptbench: unknown experiment %q (available: %s)\n",
+				id, strings.Join(experimentIDs(), " "))
 			os.Exit(2)
 		}
 		fmt.Printf("== %s: %s\n   %s\n\n", e.ID, e.Title, e.What)
@@ -114,8 +115,17 @@ func writeJSON(e harness.Experiment, opt harness.Options, dir string) error {
 
 func listExperiments() {
 	for _, e := range harness.Experiments() {
-		fmt.Printf("%-9s %s\n          %s\n", e.ID, e.Title, e.What)
+		fmt.Printf("%-11s %s\n            %s\n", e.ID, e.Title, e.What)
 	}
+}
+
+// experimentIDs returns every registered experiment id, sorted.
+func experimentIDs() []string {
+	var ids []string
+	for _, e := range harness.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
 }
 
 func usage() {
@@ -126,8 +136,10 @@ usage:
   ptbench [-scale small|paper] [-procs 1,2,4,8] [-json] <experiment id>...
   ptbench all
 
+experiments: %s
+
 -json writes each experiment's machine-readable result as
 BENCH_<id>.json (flags must precede the experiment ids).
-`)
+`, strings.Join(experimentIDs(), " "))
 	flag.PrintDefaults()
 }

@@ -294,6 +294,9 @@ func newAnalysis(events []trace.Event) *analysis {
 		if e.Proc > a.maxProc {
 			a.maxProc = e.Proc
 		}
+		if e.Kind == trace.KindBatchRefill {
+			continue // machine-level event: no thread to attribute
+		}
 		r := get(e.Thread, e.At)
 		switch e.Kind {
 		case trace.KindCreate:
@@ -466,7 +469,7 @@ func (a *analysis) absStart(id int64) vtime.Duration {
 	r := a.threads[id]
 	var d vtime.Duration
 	if r != nil && r.parent != 0 && a.threads[r.parent] != nil {
-		a.startMemo[id] = 0 // cycle guard for malformed parent chains
+		a.startMemo[id] = 0  // cycle guard for malformed parent chains
 		a.relDepth(r.parent) // ensure the parent's fork offsets are computed
 		d = a.absStart(r.parent) + a.forkOff[id]
 	}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"spthreads/internal/vtime"
+)
+
+// TestContentionZeroWaitFastPath: operations that never share a window
+// are all free, regardless of how many the model has seen — the
+// uncontended fast path of every lock.
+func TestContentionZeroWaitFastPath(t *testing.T) {
+	c := newContention(vtime.Micro(5), vtime.Micro(100))
+	for i := 0; i < 200; i++ {
+		at := vtime.Time(vtime.Micro(float64(i * 150))) // one op per window, windows skipped
+		if w := c.wait(at); w != 0 {
+			t.Fatalf("op %d at %v waited %v, want 0", i, at, w)
+		}
+	}
+}
+
+// TestContentionInterleavedClocks: processors' clocks are not
+// monotonically interleaved — a slow processor can land an operation at
+// an earlier virtual time than one already recorded. Queueing depends
+// only on which window an op lands in, not on arrival order.
+func TestContentionInterleavedClocks(t *testing.T) {
+	c := newContention(vtime.Micro(3), vtime.Micro(100))
+	// Proc A at 110us: first in window [100,200).
+	if w := c.wait(vtime.Time(vtime.Micro(110))); w != 0 {
+		t.Errorf("A@110us waited %v, want 0", w)
+	}
+	// Proc B, behind A, lands at 50us: first in window [0,100) — free
+	// even though a later-time op was already recorded.
+	if w := c.wait(vtime.Time(vtime.Micro(50))); w != 0 {
+		t.Errorf("B@50us waited %v, want 0", w)
+	}
+	// Proc C at 190us shares A's window: queues behind one op.
+	if w := c.wait(vtime.Time(vtime.Micro(190))); w != vtime.Micro(3) {
+		t.Errorf("C@190us waited %v, want 3us", w)
+	}
+	// Proc B again at 99us: second op in [0,100).
+	if w := c.wait(vtime.Time(vtime.Micro(99))); w != vtime.Micro(3) {
+		t.Errorf("B@99us waited %v, want 3us", w)
+	}
+	// Third op back in A's window queues behind two.
+	if w := c.wait(vtime.Time(vtime.Micro(120))); w != vtime.Micro(6) {
+		t.Errorf("@120us waited %v, want 6us", w)
+	}
+}
+
+// TestContentionWindowDecay: queue depth does not leak across window
+// boundaries — a burst in one window leaves the next window's first
+// operation free, and an exact-boundary timestamp belongs to the new
+// window.
+func TestContentionWindowDecay(t *testing.T) {
+	c := newContention(vtime.Micro(2), vtime.Micro(100))
+	for i := 0; i < 10; i++ {
+		c.wait(vtime.Time(vtime.Micro(10)))
+	}
+	// 100us is the first instant of window [100,200): depth resets.
+	if w := c.wait(vtime.Time(vtime.Micro(100))); w != 0 {
+		t.Errorf("boundary op waited %v, want 0 (new window)", w)
+	}
+	// 99us is still the burst's window: waits are capped at the window.
+	if w := c.wait(vtime.Time(vtime.Micro(99))); w != vtime.Micro(20) {
+		t.Errorf("same-window op waited %v, want 20us (10 ops x 2us)", w)
+	}
+	// Several windows later with no traffic in between: free again.
+	if w := c.wait(vtime.Time(vtime.Micro(950))); w != 0 {
+		t.Errorf("decayed op waited %v, want 0", w)
+	}
+}
+
+// TestSchedModeResolution: Config.SchedMode validation and the silent
+// fallback to the direct path for policies that cannot batch.
+func TestSchedModeResolution(t *testing.T) {
+	if _, err := New(Config{Policy: fakePolicy{}, SchedMode: "bogus"}); err == nil {
+		t.Error("unknown SchedMode should fail")
+	}
+	for _, mode := range []SchedMode{"", SchedDirect, SchedVolunteer, SchedDedicated} {
+		m, err := New(Config{Policy: fakePolicy{}, SchedMode: mode, SchedBatch: 16})
+		if err != nil {
+			t.Fatalf("SchedMode %q: %v", mode, err)
+		}
+		// fakePolicy is neither Global nor a BatchNexter, so every mode
+		// resolves to the direct path.
+		if m.batch > 1 {
+			t.Errorf("SchedMode %q activated batching for a non-batchable policy", mode)
+		}
+	}
+	// SchedBatch <= 1 degenerates to direct even for batched modes.
+	m, err := New(Config{Policy: fakePolicy{}, SchedMode: SchedVolunteer, SchedBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.batch > 1 {
+		t.Error("SchedBatch=1 should stay on the direct path")
+	}
+}
+
+// TestContentionPruneBoundary: prune keeps the horizon's own window and
+// the one before it (a slow processor may still land there) and drops
+// everything older.
+func TestContentionPruneBoundary(t *testing.T) {
+	c := newContention(vtime.Micro(1), vtime.Micro(100))
+	for _, us := range []float64{50, 150, 250, 350} { // windows 0,1,2,3
+		c.wait(vtime.Time(vtime.Micro(us)))
+	}
+	c.prune(vtime.Time(vtime.Micro(350))) // horizon in window 3: cutoff 2
+	if c.size() != 2 {
+		t.Fatalf("size after prune = %d, want 2 (windows 2 and 3)", c.size())
+	}
+	// Window 2 survived: an op there queues behind the recorded one.
+	if w := c.wait(vtime.Time(vtime.Micro(260))); w != vtime.Micro(1) {
+		t.Errorf("op in surviving window waited %v, want 1us", w)
+	}
+	// Window 0 was dropped: an op there is free again.
+	if w := c.wait(vtime.Time(vtime.Micro(60))); w != 0 {
+		t.Errorf("op in pruned window waited %v, want 0", w)
+	}
+}

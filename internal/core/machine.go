@@ -37,6 +37,19 @@ type Config struct {
 	// microseconds). Smaller quanta interleave processors more finely
 	// at a real-time cost; the quantum does not reschedule the thread.
 	Quantum vtime.Duration
+	// SchedMode selects how global-queue policies interact with the
+	// scheduler lock: SchedDirect charges every ready-queue operation
+	// under the global lock (the paper's original scheduler and this
+	// repo's seed behavior), while SchedVolunteer and SchedDedicated
+	// enable the paper's two-level Q_in/R/Q_out batching. Batched modes
+	// require a policy implementing BatchNexter (ADF); other policies
+	// keep the direct path regardless.
+	SchedMode SchedMode
+	// SchedBatch is the per-processor Q_out capacity B for the batched
+	// modes (default 8 when a batched mode is selected). SchedBatch <= 1
+	// degenerates to the direct scheduler exactly — same code path, same
+	// costs, bit-identical results.
+	SchedBatch int
 	// Tracer, when non-nil, records scheduler events (create, dispatch,
 	// preempt, block, wake, exit) without affecting virtual time.
 	Tracer *trace.Recorder
@@ -54,6 +67,28 @@ type Config struct {
 	// space-over-time curve for this run. Sampling reads clocks only.
 	SpaceProf *spaceprof.Profiler
 }
+
+// SchedMode names a scheduler-lock discipline (Config.SchedMode).
+type SchedMode string
+
+// Scheduler-lock disciplines.
+const (
+	// SchedDirect is the seed behavior: every ready-queue operation
+	// (dispatch, fork, exit, preempt) takes the global scheduler lock
+	// and pays contention individually.
+	SchedDirect SchedMode = "direct"
+	// SchedVolunteer is the paper's two-level scheme with workers
+	// volunteering: a worker whose Q_out underflows performs the
+	// scheduler pass itself — drain every Q_in into the ordered list R
+	// and refill the Q_outs of all hungry processors — under a single
+	// lock critical section, amortizing the lock over the whole batch.
+	SchedVolunteer SchedMode = "volunteer"
+	// SchedDedicated models the pass running on a dedicated virtual
+	// scheduler processor with its own clock; workers never touch the
+	// global lock and only idle while a refill they depend on is in
+	// flight.
+	SchedDedicated SchedMode = "dedicated"
+)
 
 // DAGSink receives computation-graph events. All calls arrive
 // serialized. It is satisfied by dag.Builder.
@@ -102,6 +137,18 @@ type Machine struct {
 	// sleepers holds threads parked by Sleep until a virtual deadline.
 	sleepers []sleeper
 
+	// Two-level batched scheduling (Config.SchedMode). batch is the
+	// per-processor Q_out capacity; batch <= 1 means the direct path and
+	// every other field below stays dormant.
+	batch      int
+	dedicated  bool
+	batchNext  BatchNexter
+	localOp    vtime.Duration // resolved cm.SchedLocalOp
+	batchMove  vtime.Duration // resolved cm.SchedBatchMove
+	qinPending int64          // Q_in entries since the last scheduler pass
+	qoutTotal  int            // threads parked across all Q_outs
+	schedClock vtime.Time     // the dedicated scheduler processor's clock
+
 	nextID   int64
 	live     int
 	peakLive int
@@ -134,6 +181,13 @@ type instruments struct {
 	allocs         *metrics.Counter   // mem.allocs
 	frees          *metrics.Counter   // mem.frees
 	liveThreads    *metrics.Gauge     // threads.live
+
+	// Batched-scheduler instruments, bound only when a batched mode is
+	// active so direct-mode snapshots are unchanged.
+	batchPasses *metrics.Counter   // sched.batch.passes
+	batchRefill *metrics.Histogram // sched.batch.refill (threads moved per pass)
+	qinDrained  *metrics.Counter   // sched.qin.drained
+	qoutOcc     *metrics.Gauge     // sched.qout.occupancy
 }
 
 func (m *Machine) bindInstruments(r *metrics.Registry) {
@@ -149,6 +203,12 @@ func (m *Machine) bindInstruments(r *metrics.Registry) {
 		allocs:         r.Counter("mem.allocs"),
 		frees:          r.Counter("mem.frees"),
 		liveThreads:    r.Gauge("threads.live"),
+	}
+	if m.batch > 1 {
+		m.ins.batchPasses = r.Counter("sched.batch.passes")
+		m.ins.batchRefill = r.Histogram("sched.batch.refill")
+		m.ins.qinDrained = r.Counter("sched.qin.drained")
+		m.ins.qoutOcc = r.Gauge("sched.qout.occupancy")
 	}
 }
 
@@ -168,6 +228,14 @@ type Proc struct {
 	cur   *Thread
 	tlb   *memsim.TLB
 	stats ProcStats
+
+	// qout is the processor's prefetched ready batch (batched modes):
+	// threads already removed from the policy's ready structure by a
+	// scheduler pass, popped front-first without the global lock.
+	// qoutAt holds each entry's availability time (the completing pass's
+	// timestamp).
+	qout   []*Thread
+	qoutAt []vtime.Time
 }
 
 // ProcStats is the per-processor virtual-time breakdown. Idle is filled
@@ -209,13 +277,31 @@ func New(cfg Config) (*Machine, error) {
 		mem:         memsim.New(cfg.CostModel, cfg.DefaultStack, cfg.PhysMem),
 		liveThreads: make(map[int64]*Thread),
 	}
-	m.schedLock = newContention(m.cm.SchedLockOp, lockWindow)
-	m.heapLock = newContention(m.cm.MallocBase, lockWindow)
-	// Kernel address-space operations (mmap/sbrk for stacks and heap
-	// growth) serialize on the process's address-space lock; their hold
-	// times are in the hundreds of microseconds (Figure 3's 200-260 us
-	// stack-allocation overhead), so they contend over a wider window.
-	m.kernelLock = newContention(vtime.Micro(150), vtime.Micro(1000))
+	// Lock parameters come from the cost model; zero-valued fields (a
+	// hand-built CostModel) fall back to the calibrated defaults so a
+	// window can never be zero.
+	schedWin := m.cm.SchedLockWindow
+	if schedWin <= 0 {
+		schedWin = lockWindow
+	}
+	heapWin := m.cm.HeapLockWindow
+	if heapWin <= 0 {
+		heapWin = lockWindow
+	}
+	kernelOp := m.cm.KernelLockOp
+	if kernelOp <= 0 {
+		kernelOp = vtime.Micro(150)
+	}
+	kernelWin := m.cm.KernelLockWindow
+	if kernelWin <= 0 {
+		kernelWin = vtime.Micro(1000)
+	}
+	m.schedLock = newContention(m.cm.SchedLockOp, schedWin)
+	m.heapLock = newContention(m.cm.MallocBase, heapWin)
+	m.kernelLock = newContention(kernelOp, kernelWin)
+	if err := m.resolveSchedMode(); err != nil {
+		return nil, err
+	}
 	m.procs = make([]*Proc, cfg.Procs)
 	for i := range m.procs {
 		m.procs[i] = &Proc{id: i, tlb: memsim.NewTLB(cfg.TLBEntries)}
@@ -223,6 +309,45 @@ func New(cfg Config) (*Machine, error) {
 	m.clocks = newClockIndex(cfg.Procs)
 	m.bindInstruments(cfg.Metrics)
 	return m, nil
+}
+
+// resolveSchedMode validates Config.SchedMode/SchedBatch and decides
+// whether the two-level batched scheduler is active for this run
+// (m.batch > 1). Batching needs a global-queue policy that implements
+// BatchNexter; anything else silently keeps the direct path, as does
+// SchedBatch <= 1 (a batch of one is the direct scheduler).
+func (m *Machine) resolveSchedMode() error {
+	mode := m.cfg.SchedMode
+	if mode == "" {
+		mode = SchedDirect
+	}
+	switch mode {
+	case SchedDirect:
+		return nil
+	case SchedVolunteer, SchedDedicated:
+	default:
+		return fmt.Errorf("core: unknown SchedMode %q", m.cfg.SchedMode)
+	}
+	batch := m.cfg.SchedBatch
+	if batch == 0 {
+		batch = 8
+	}
+	bn, ok := m.policy.(BatchNexter)
+	if batch <= 1 || !ok || !m.policy.Global() {
+		return nil
+	}
+	m.batch = batch
+	m.dedicated = mode == SchedDedicated
+	m.batchNext = bn
+	m.localOp = m.cm.SchedLocalOp
+	if m.localOp <= 0 {
+		m.localOp = vtime.Micro(0.3)
+	}
+	m.batchMove = m.cm.SchedBatchMove
+	if m.batchMove <= 0 {
+		m.batchMove = vtime.Micro(0.5)
+	}
+	return nil
 }
 
 // Run executes main as the root thread and drives the simulation to
@@ -356,6 +481,9 @@ func (m *Machine) wakeSleeper(s sleeper) {
 // candidates come from O(log p) clock-tree descents; the seed scanned
 // every processor here on every scheduling step.
 func (m *Machine) pickProc() *Proc {
+	if m.batch > 1 {
+		return m.pickProcBatched()
+	}
 	busyID := m.clocks.busy.minProc()
 	idleID := -1
 	var idleKey vtime.Time
@@ -386,8 +514,52 @@ func (m *Machine) pickProc() *Proc {
 	return m.procs[idleID]
 }
 
+// pickProcBatched is pickProc for the two-level scheduler: an idle
+// processor may hold prefetched work in its Q_out, which competes at the
+// entry's availability time instead of the global readyAt minimum. The
+// linear scan over processors is deliberate — the batched modes target
+// p <= 64 where the scan is cheap, and the clock trees stay exact for
+// the direct path's O(log p) descent.
+func (m *Machine) pickProcBatched() *Proc {
+	var best *Proc
+	var bestKey vtime.Time
+	haveReady := m.readyAt.len() > 0
+	var readyMin vtime.Time
+	if haveReady {
+		readyMin = m.readyAt.min()
+	}
+	for _, p := range m.procs {
+		var key vtime.Time
+		switch {
+		case p.cur != nil:
+			key = p.clock
+		case len(p.qout) > 0:
+			key = p.clock
+			if at := p.qoutAt[0]; at > key {
+				key = at
+			}
+		case haveReady:
+			key = p.clock
+			if readyMin > key {
+				key = readyMin
+			}
+		default:
+			continue
+		}
+		// Ascending-id scan: strict < preserves the smallest-id tie-break.
+		if best == nil || key < bestKey {
+			best, bestKey = p, key
+		}
+	}
+	return best
+}
+
 // dispatch assigns the next ready thread to an idle processor.
 func (m *Machine) dispatch(p *Proc) {
+	if m.batch > 1 {
+		m.dispatchBatched(p)
+		return
+	}
 	at := m.readyAt.min()
 	if at > p.clock {
 		m.liftClock(p, at) // the gap is idle time, derived in stats()
@@ -402,6 +574,132 @@ func (m *Machine) dispatch(p *Proc) {
 	// been waiting when this processor picked up work.
 	m.ins.dispatchWait.Observe(int64(p.clock - at))
 	m.assign(p, t)
+}
+
+// dispatchBatched pops the processor's Q_out front (a lock-free pop in
+// the modeled machine, charged SchedLocalOp); on underflow the processor
+// first obtains a refill via a scheduler pass.
+func (m *Machine) dispatchBatched(p *Proc) {
+	if len(p.qout) == 0 {
+		m.schedulerPass(p)
+	}
+	at := p.qoutAt[0]
+	if at > p.clock {
+		m.liftClock(p, at) // the refill completed in the future: idle gap
+	}
+	t := p.qout[0]
+	p.qout = p.qout[1:]
+	p.qoutAt = p.qoutAt[1:]
+	m.qoutTotal--
+	m.ins.qoutOcc.Set(int64(m.qoutTotal))
+	p.stats.Sched += m.localOp
+	m.tick(p, m.localOp)
+	m.ins.dispatchWait.Observe(int64(p.clock - at))
+	m.assign(p, t)
+}
+
+// schedulerPass is one batch move of the two-level scheduler: drain all
+// Q_in entries into the policy's ordered ready structure R (already
+// reflected there — see queueOp — so the drain contributes only cost),
+// then pull the leftmost ready threads from R and deal them into the
+// Q_outs of every hungry processor, all inside a single lock critical
+// section charged SchedLockOp plus SchedBatchMove per thread moved.
+//
+// Under SchedVolunteer the calling processor p pays the pass on its own
+// clock and contends on the scheduler lock; under SchedDedicated the
+// pass runs on the dedicated scheduler processor's clock (m.schedClock)
+// and workers never touch the lock, they only wait for the refill to
+// complete.
+func (m *Machine) schedulerPass(p *Proc) {
+	// p was picked at key max(clock, readyAt.min()), so ready work exists;
+	// lift its clock to the earliest ready time before starting the pass.
+	if r := m.readyAt.min(); r > p.clock {
+		m.liftClock(p, r)
+	}
+	// The requesting processor is always first so the leftmost thread of
+	// the refill lands in its Q_out (it is guaranteed work after the
+	// pass); other hungry processors join in ascending id order.
+	hungry := []*Proc{p}
+	for _, q := range m.procs {
+		if q != p && q.cur == nil && len(q.qout) == 0 {
+			hungry = append(hungry, q)
+		}
+	}
+	start := p.clock
+	if m.dedicated && m.schedClock > start {
+		start = m.schedClock
+	}
+	drained := m.qinPending
+	m.qinPending = 0
+	// Collect the batch to a fixed point: the pass's critical section
+	// takes SchedLockOp + SchedBatchMove per entry moved, and any thread
+	// becoming ready before the pass completes is swept into the same
+	// batch (it is handed out stamped at the pass's completion time, so
+	// it is never dispatched before it is ready). This is what makes
+	// batches grow with the fork rate instead of staying at the handful
+	// of threads ready at the instant the pass begins.
+	capTotal := len(hungry) * m.batch
+	var times []vtime.Time
+	var cost vtime.Duration
+	for {
+		cost = m.cm.SchedLockOp + vtime.Duration(int64(len(times))+drained)*m.batchMove
+		deadline := start + vtime.Time(cost)
+		grew := false
+		for len(times) < capTotal && m.readyAt.len() > 0 && m.readyAt.min() <= deadline {
+			times = append(times, m.readyAt.pop())
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+	n := len(times)
+	if n == 0 {
+		panic("core: scheduler pass found no ready work")
+	}
+	threads := m.batchNext.NextBatch(p.id, n)
+	if len(threads) != n {
+		panic(fmt.Sprintf("core: policy %s returned %d of %d batched threads with %d ready times",
+			m.policy.Name(), len(threads), n, n))
+	}
+	var passDone vtime.Time
+	if m.dedicated {
+		// The pass runs on the scheduler processor: it starts when both
+		// the request arrives and the scheduler is free, and the worker
+		// idles until the refill lands.
+		passDone = start + vtime.Time(cost)
+		m.schedClock = passDone
+		if passDone > p.clock {
+			m.liftClock(p, passDone)
+		}
+	} else {
+		p.stats.Sched += cost
+		m.tick(p, cost)
+		if wait := m.schedLock.wait(p.clock); wait > 0 {
+			p.stats.LockWait += wait
+			m.tick(p, wait)
+			m.ins.schedLockWait.Observe(int64(wait))
+		}
+		if m.schedLock.size() > 1<<14 {
+			m.schedLock.prune(m.minClock())
+		}
+		passDone = p.clock
+	}
+	// Deal round-robin starting at the requester; each Q_out receives its
+	// share in leftmost-first order, available once the pass completes.
+	for i, t := range threads {
+		q := hungry[i%len(hungry)]
+		q.qout = append(q.qout, t)
+		q.qoutAt = append(q.qoutAt, passDone)
+	}
+	m.qoutTotal += n
+	m.ins.batchPasses.Inc()
+	m.ins.batchRefill.Observe(int64(n))
+	m.ins.qinDrained.Add(drained)
+	m.ins.qoutOcc.Set(int64(m.qoutTotal))
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.RecordArg(passDone, p.id, 0, trace.KindBatchRefill, int64(n))
+	}
 }
 
 // assign puts thread t on processor p and charges the context switch.
@@ -531,6 +829,18 @@ const lockWindow = vtime.Duration(100 * vtime.CyclesPerMicrosecond)
 // single scheduler lock (the serialization the paper identifies as the
 // scalability limit of its scheduler).
 func (m *Machine) queueOp(p *Proc) {
+	if m.batch > 1 {
+		// Two-level mode: an outgoing fork/exit/preempt is a lock-free
+		// push onto this processor's Q_in. The thread is made visible to
+		// the policy's ready structure immediately (the pass drains Q_in
+		// before refilling, so no later-dispatched thread could have
+		// overtaken it); the per-entry move cost is charged to the next
+		// scheduler pass via qinPending.
+		p.stats.Sched += m.localOp
+		m.tick(p, m.localOp)
+		m.qinPending++
+		return
+	}
 	p.stats.Sched += m.cm.SchedLockOp
 	m.tick(p, m.cm.SchedLockOp)
 	if !m.policy.Global() {

@@ -67,3 +67,19 @@ type Policy interface {
 	// run-to-block (SCHED_FIFO and the paper's policies).
 	TimeSlice() vtime.Duration
 }
+
+// BatchNexter is the optional extension implemented by global-queue
+// policies whose ready structure can hand the machine a whole batch of
+// threads, in dispatch order, in one critical section — the Q_in/R/Q_out
+// scheduler-pass refill of the paper's two-level scheme. ADF (and its
+// linked-list reference oracle) implement it; FIFO and LIFO deliberately
+// do not, preserving the paper's original per-operation lock behavior.
+// A batched Config.SchedMode silently degrades to the direct path for
+// policies without this interface.
+type BatchNexter interface {
+	// NextBatch removes and returns up to n ready threads in exactly the
+	// order n successive Next(pid) calls would have dispatched them
+	// (leftmost-ready first for ADF). It returns fewer than n only when
+	// the ready structure is exhausted.
+	NextBatch(pid, n int) []*Thread
+}

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"spthreads/internal/analyze"
+	"spthreads/internal/barneshut"
+	"spthreads/internal/dtree"
+	"spthreads/internal/matmul"
+	"spthreads/internal/metrics"
+	"spthreads/internal/trace"
+	"spthreads/internal/vtime"
+	"spthreads/pthread"
+)
+
+// contention: sweep processor count x scheduler batch size under ADF and
+// measure what the global scheduler lock costs. batch=1 is the direct
+// per-operation scheduler (the seed behavior and the paper's strawman);
+// batch>1 enables the two-level Q_in/R/Q_out scheme where a volunteering
+// worker moves whole batches under one lock critical section, which is
+// how the paper's implementation amortizes the lock and scales past
+// p=8. The table shows total scheduler-lock wait collapsing and speedup
+// improving as B grows, and the JSON emitter attaches bound-audit
+// analyses at the largest p so the space side of the tradeoff is checked
+// in the same artifact.
+
+func init() {
+	register(Experiment{
+		ID:    "contention",
+		Title: "Scheduler-lock contention: direct vs batched Q_in/Q_out scheduling",
+		What:  "simulated time, speedup, and sched.lock.wait across p x batch under ADF",
+		Run:   runContention,
+		JSON:  jsonContention,
+	})
+}
+
+// contentionProcs is the sweep the tentpole targets: the regime past
+// p=8 where per-operation locking stops scaling.
+var contentionProcs = []int{8, 16, 32, 64}
+
+// contentionBatches sweeps the Q_out capacity B; 1 is the direct path.
+var contentionBatches = []int{1, 4, 16, 64}
+
+// contentionPrograms returns the three measured benchmarks (shared with
+// the bound audit, so the space constants are comparable).
+func contentionPrograms(opt Options) []struct {
+	name string
+	prog func(*pthread.T)
+} {
+	paper := opt.paper()
+	return []struct {
+		name string
+		prog func(*pthread.T)
+	}{
+		{"matmul", matmul.Fine(matmulCfg(paper))},
+		{"barneshut", barneshut.Fine(barneshutCfg(paper))},
+		{"dtree", dtree.Fine(dtreeCfg(paper))},
+	}
+}
+
+// contentionConfig builds the run config for one (procs, batch) cell.
+func contentionConfig(procs, batch int) pthread.Config {
+	cfg := pthread.Config{
+		Procs:        procs,
+		Policy:       pthread.PolicyADF,
+		DefaultStack: pthread.SmallStackSize,
+	}
+	if batch > 1 {
+		cfg.SchedMode = pthread.SchedVolunteer
+		cfg.SchedBatch = batch
+	}
+	return cfg
+}
+
+// lockWaitStats extracts the scheduler-lock wait histogram from a
+// snapshot (zero when uncontended or unbound).
+func lockWaitStats(snap *metrics.Snapshot) (sum, count int64) {
+	if snap == nil {
+		return 0, 0
+	}
+	if h, ok := snap.Histograms["sched.lock.wait"]; ok {
+		return h.Sum, h.Count
+	}
+	return 0, 0
+}
+
+func runContention(w io.Writer, opt Options) error {
+	procs := opt.procs(contentionProcs)
+	fmt.Fprintln(w, "scheduler-lock contention under ADF: direct (batch=1) vs batched volunteer scheduling")
+	fmt.Fprintln(w)
+	tb := newTable(w)
+	tb.row("bench", "p", "batch", "time(us)", "speedup", "lock.wait(us)", "waits", "passes")
+	for _, bench := range contentionPrograms(opt) {
+		serial := serialTime(bench.prog)
+		for _, p := range procs {
+			for _, b := range contentionBatches {
+				cfg := contentionConfig(p, b)
+				cfg.Metrics = pthread.NewMetrics()
+				st := run(cfg, bench.prog)
+				sum, count := lockWaitStats(st.Metrics)
+				var passes int64
+				if st.Metrics != nil {
+					passes = st.Metrics.Counters["sched.batch.passes"]
+				}
+				tb.row(bench.name, p, b,
+					fmt.Sprintf("%.0f", st.Time.Microseconds()),
+					fmt.Sprintf("%.2f", speedup(serial, st)),
+					fmt.Sprintf("%.0f", vtime.Duration(sum).Microseconds()),
+					count, passes)
+			}
+		}
+	}
+	tb.flush()
+	return nil
+}
+
+// contentionAudit runs one traced bench at the given p/batch and
+// analyzes the space bound, mirroring the bound-audit experiment so the
+// fitted c under batching is directly comparable to PR 3's constants.
+func contentionAudit(procs, batch int, prog func(*pthread.T)) (*analyze.Report, error) {
+	rec := trace.NewRecorder(1 << 21)
+	cfg := contentionConfig(procs, batch)
+	cfg.Tracer = rec
+	st := run(cfg, prog)
+	rep, err := analyze.Analyze(rec, analyze.Options{
+		Policy:       string(pthread.PolicyADF),
+		Procs:        procs,
+		Quota:        pthread.DefaultMemQuota,
+		DefaultStack: pthread.SmallStackSize,
+		PeakHeap:     st.HeapHWM,
+		PeakStack:    st.StackHWM,
+		Peak:         st.TotalHWM,
+		SampleEvery:  spaceProfileEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.ApplyFit(rep.FitC())
+	return rep, nil
+}
+
+// jsonContention emits the full p x batch sweep plus bound-audit
+// analyses at the largest p for the extreme batch sizes.
+func jsonContention(opt Options) (*BenchResult, error) {
+	procs := opt.procs(contentionProcs)
+	res := &BenchResult{Experiment: "contention", Scale: scaleName(opt),
+		Title: "Scheduler-lock contention: direct vs batched Q_in/Q_out scheduling"}
+	for _, bench := range contentionPrograms(opt) {
+		serial := serialTime(bench.prog)
+		for _, p := range procs {
+			for _, b := range contentionBatches {
+				cfg := contentionConfig(p, b)
+				cfg.Metrics = pthread.NewMetrics()
+				st := run(cfg, bench.prog)
+				row := statsRun(cfg.Policy, p, st)
+				row.Bench = bench.name
+				row.Batch = b
+				row.Speedup = speedup(serial, st)
+				res.Runs = append(res.Runs, row)
+			}
+		}
+		// Space-bound check at the largest p for the sweep's extremes.
+		pMax := procs[len(procs)-1]
+		for _, b := range []int{contentionBatches[0], contentionBatches[len(contentionBatches)-1]} {
+			rep, err := contentionAudit(pMax, b, bench.prog)
+			if err != nil {
+				return nil, fmt.Errorf("contention: %s audit at p=%d b=%d: %w", bench.name, pMax, b, err)
+			}
+			res.Runs = append(res.Runs, BenchRun{
+				Bench:    bench.name,
+				Policy:   string(pthread.PolicyADF),
+				Procs:    pMax,
+				Batch:    b,
+				HeapHWM:  rep.PeakHeap,
+				StackHWM: rep.PeakStack,
+				TotalHWM: rep.Peak,
+				Analysis: rep,
+			})
+		}
+	}
+	return res, nil
+}

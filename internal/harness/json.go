@@ -23,6 +23,9 @@ type BenchRun struct {
 	// Bench names the benchmark program for experiments that sweep
 	// several under one id (the bound-audit matrix).
 	Bench string `json:"bench,omitempty"`
+	// Batch is the scheduler batch size B for the contention experiment
+	// (1 = direct per-operation locking).
+	Batch int `json:"batch,omitempty"`
 
 	// Virtual-time results.
 	TimeCycles int64   `json:"time_cycles,omitempty"`

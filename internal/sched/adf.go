@@ -195,6 +195,28 @@ func (p *adfPolicy) Next(pid int) *core.Thread {
 	return nil
 }
 
+// NextBatch implements core.BatchNexter: it removes up to n ready
+// threads in exactly the order n successive Next calls would have
+// dispatched them (leftmost-ready first within the highest non-empty
+// priority), for the batched two-level scheduler's refill pass. Both the
+// treap-indexed policy and the linked-list reference oracle share this
+// implementation, so the differential suite exercises batching on both
+// sides.
+func (p *adfPolicy) NextBatch(pid, n int) []*core.Thread {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*core.Thread, 0, n)
+	for len(out) < n {
+		t := p.Next(pid)
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
 // Live returns the number of placeholder entries across all levels,
 // maintained as a counter (the seed implementation walked every list).
 func (p *adfPolicy) Live() int { return p.live }

@@ -113,6 +113,8 @@ func (r *Recorder) WriteChrome(w io.Writer, procs int, counters []CounterSample)
 			args["dummies"] = e.Arg
 		case KindLockAcquire:
 			args["blocked_cycles"] = e.Arg
+		case KindBatchRefill:
+			args["moved"] = e.Arg
 		case KindCreate:
 			args["parent"] = e.Arg
 		case KindJoin:

@@ -15,7 +15,7 @@ import (
 
 // ParseKind maps a kind name (the Kind.String form) back to its Kind.
 func ParseKind(name string) (Kind, error) {
-	for k := KindCreate; k <= KindStackAlloc; k++ {
+	for k := KindCreate; k <= KindBatchRefill; k++ {
 		if k.String() == name {
 			return k, nil
 		}

@@ -12,7 +12,7 @@ import (
 // TestParseKindRoundTrip: every kind's String form parses back to
 // itself, so the JSONL wire format is self-describing.
 func TestParseKindRoundTrip(t *testing.T) {
-	for k := trace.KindCreate; k <= trace.KindStackAlloc; k++ {
+	for k := trace.KindCreate; k <= trace.KindBatchRefill; k++ {
 		got, err := trace.ParseKind(k.String())
 		if err != nil {
 			t.Fatalf("ParseKind(%q): %v", k.String(), err)

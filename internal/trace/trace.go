@@ -51,6 +51,11 @@ const (
 	// Arg is the stack size in bytes. It lets space replays account
 	// per-thread stacks exactly even when threads use non-default sizes.
 	KindStackAlloc
+	// KindBatchRefill marks the completion of one batched scheduler pass
+	// (the two-level Q_in/R/Q_out scheme): Proc is the processor the pass
+	// ran for, Arg is the number of threads moved into Q_outs. The event
+	// carries no thread (Thread is 0) — per-thread analyzers must skip it.
+	KindBatchRefill
 )
 
 // String returns the kind's name.
@@ -82,6 +87,8 @@ func (k Kind) String() string {
 		return "join"
 	case KindStackAlloc:
 		return "stack-alloc"
+	case KindBatchRefill:
+		return "batch-refill"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -306,6 +313,9 @@ func (r *Recorder) Summary() []ThreadStats {
 		return s
 	}
 	for _, e := range r.events {
+		if e.Kind == KindBatchRefill {
+			continue // machine-level event: carries no thread
+		}
 		s := get(e.Thread)
 		switch e.Kind {
 		case KindCreate:

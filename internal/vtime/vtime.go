@@ -80,8 +80,23 @@ type CostModel struct {
 	// Scheduler queue costs.
 
 	// SchedLockOp is the critical-section length of one ready-queue
-	// operation under the global scheduler lock.
+	// operation under the global scheduler lock. In the batched
+	// two-level scheduler it is the lock-acquisition critical section
+	// charged once per scheduler pass.
 	SchedLockOp Duration
+	// SchedLocalOp is the cost of one lock-free operation on a
+	// per-processor Q_in/Q_out queue in the batched scheduler (a push of
+	// an outgoing fork/exit/preempt, or a pop of a prefetched ready
+	// thread). It replaces the per-operation SchedLockOp of the direct
+	// path.
+	SchedLocalOp Duration
+	// SchedBatchMove is the per-thread cost of moving one entry between
+	// Q_in, the ordered list R, and a Q_out during a scheduler pass
+	// (inside the single SchedLockOp critical section).
+	SchedBatchMove Duration
+	// SchedLockWindow is the virtual-time window within which scheduler
+	// lock operations are considered to overlap (contend).
+	SchedLockWindow Duration
 
 	// Memory system.
 
@@ -101,25 +116,43 @@ type CostModel struct {
 	// PageFault is charged per page when the resident set exceeds
 	// physical memory (soft paging model).
 	PageFault Duration
+	// HeapLockWindow is the contention window of the allocator lock
+	// (operation cost MallocBase).
+	HeapLockWindow Duration
+	// KernelLockOp and KernelLockWindow model the process address-space
+	// lock serializing kernel memory calls (mmap/sbrk for stacks and
+	// heap growth). Hold times are in the hundreds of microseconds
+	// (Figure 3's 200-260 us stack-allocation overhead), so they
+	// contend over a wider window than the user-level locks.
+	KernelLockOp     Duration
+	KernelLockWindow Duration
 }
 
 // Default returns the calibrated cost model for the modeled machine.
 func Default() *CostModel {
 	return &CostModel{
-		ThreadCreate:   Micro(20.5), // Figure 3: unbound create, cached stack
-		ThreadJoin:     Micro(6.0),  // calibrated: join with exited thread
-		SemaSync:       Micro(19.0), // calibrated: includes one context switch
-		SyncOp:         Micro(1.9),  // calibrated: uncontended user-level lock
-		ContextSwitch:  Micro(11.0), // calibrated: unbound user-level switch
-		StackAllocBase: Micro(200),  // Figure 3 caption: 8 KB stack
-		StackAllocMax:  Micro(260),  // Figure 3 caption: 1 MB stack
-		SchedLockOp:    Micro(1.5),
-		MallocBase:     Micro(2.0),
-		BrkSyscall:     Micro(60),
-		PageMap:        Micro(2.5),
-		PageFirstTouch: Micro(40), // zero-fill one 8 KB page
-		TLBMiss:        Duration(50),
-		PageFault:      Micro(1200),
+		ThreadCreate:    Micro(20.5), // Figure 3: unbound create, cached stack
+		ThreadJoin:      Micro(6.0),  // calibrated: join with exited thread
+		SemaSync:        Micro(19.0), // calibrated: includes one context switch
+		SyncOp:          Micro(1.9),  // calibrated: uncontended user-level lock
+		ContextSwitch:   Micro(11.0), // calibrated: unbound user-level switch
+		StackAllocBase:  Micro(200),  // Figure 3 caption: 8 KB stack
+		StackAllocMax:   Micro(260),  // Figure 3 caption: 1 MB stack
+		SchedLockOp:     Micro(1.5),
+		SchedLocalOp:    Micro(0.3), // uncontended push/pop on a per-proc queue
+		SchedBatchMove:  Micro(0.5), // one Q_in/R/Q_out move inside the pass
+		SchedLockWindow: Micro(100),
+		MallocBase:      Micro(2.0),
+		BrkSyscall:      Micro(60),
+		PageMap:         Micro(2.5),
+		PageFirstTouch:  Micro(40), // zero-fill one 8 KB page
+		TLBMiss:         Duration(50),
+		PageFault:       Micro(1200),
+		HeapLockWindow:  Micro(100),
+		// Kernel address-space operations serialize over a wide window;
+		// previously hardcoded in the machine, now sweepable.
+		KernelLockOp:     Micro(150),
+		KernelLockWindow: Micro(1000),
 	}
 }
 

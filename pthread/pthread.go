@@ -68,6 +68,23 @@ const (
 // quota K.
 const DefaultMemQuota = sched.DefaultMemQuota
 
+// SchedMode selects the scheduler-lock discipline (see Config.SchedMode).
+type SchedMode = core.SchedMode
+
+// Scheduler-lock disciplines for global-queue policies.
+const (
+	// SchedDirect takes the global scheduler lock on every ready-queue
+	// operation (the paper's original scheduler; the default).
+	SchedDirect = core.SchedDirect
+	// SchedVolunteer enables the paper's two-level Q_in/R/Q_out batching
+	// with workers volunteering to run the scheduler pass on Q_out
+	// underflow.
+	SchedVolunteer = core.SchedVolunteer
+	// SchedDedicated runs the batched scheduler pass on a dedicated
+	// virtual scheduler processor; workers never touch the global lock.
+	SchedDedicated = core.SchedDedicated
+)
+
 // Attr carries thread-creation attributes (stack size, priority,
 // detached state, name), mirroring pthread_attr_t.
 type Attr = core.Attr
@@ -108,6 +125,13 @@ type Config struct {
 	// the coordinator (default 250 virtual microseconds); it controls
 	// interleaving granularity, not scheduling.
 	Quantum vtime.Duration
+	// SchedMode selects the scheduler-lock discipline for global-queue
+	// policies: SchedDirect (default, per-operation locking) or the
+	// batched SchedVolunteer / SchedDedicated two-level schemes.
+	SchedMode SchedMode
+	// SchedBatch is the per-processor Q_out capacity B for the batched
+	// modes (default 8); values <= 1 degenerate to SchedDirect exactly.
+	SchedBatch int
 	// Tracer, when non-nil, records scheduler events for later
 	// inspection (Gantt charts, per-thread summaries) without
 	// affecting virtual time.
@@ -158,6 +182,8 @@ func Run(cfg Config, main func(*T)) (Stats, error) {
 		TLBEntries:   cfg.TLBEntries,
 		MaxSteps:     cfg.MaxSteps,
 		Quantum:      cfg.Quantum,
+		SchedMode:    cfg.SchedMode,
+		SchedBatch:   cfg.SchedBatch,
 		Tracer:       cfg.Tracer,
 		Metrics:      cfg.Metrics,
 		SpaceProf:    cfg.SpaceProf,
