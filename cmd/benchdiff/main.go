@@ -12,10 +12,14 @@
 // -metric restricts the comparison to a comma-separated list of metric
 // names; sched.lock.wait (the scheduler-lock wait histogram sum from
 // the run's metrics snapshot) lets CI gate contention as well as
-// runtime. Runs are matched by (bench, policy, procs, live_threads) and,
-// when present, the scheduler batch size; runs present in only one file
-// are reported but are not failures. Exit status: 0 when within
-// threshold, 1 on regression, 2 on usage or unreadable input.
+// runtime. Runs are matched by (bench, policy, procs, live_threads)
+// and, when present, the scheduler batch size and execution backend;
+// runs present in only one file are reported but are not failures.
+// Native-backend rows are host wall-clock measurements: their deltas
+// are printed but never trip the threshold (sim rows, being
+// deterministic, still gate), and the wall_ms metric is report-only on
+// every backend. Exit status: 0 when within threshold, 1 on
+// regression, 2 on usage or unreadable input.
 package main
 
 import (
@@ -34,7 +38,10 @@ type metric struct {
 	name string
 	// higherIsBetter flips the regression direction (speedup).
 	higherIsBetter bool
-	get            func(r benchRun) (float64, bool)
+	// reportOnly metrics print their deltas but never trip the
+	// threshold (host-dependent wall-clock times).
+	reportOnly bool
+	get        func(r benchRun) (float64, bool)
 }
 
 // benchRun mirrors the numeric subset of harness.BenchRun that the
@@ -44,8 +51,10 @@ type benchRun struct {
 	Policy      string  `json:"policy"`
 	Procs       int     `json:"procs"`
 	Batch       int     `json:"batch"`
+	Backend     string  `json:"backend"`
 	LiveThreads int     `json:"live_threads"`
 	TimeCycles  float64 `json:"time_cycles"`
+	WallMS      float64 `json:"wall_ms"`
 	Speedup     float64 `json:"speedup"`
 	HeapHWM     float64 `json:"heap_hwm_bytes"`
 	StackHWM    float64 `json:"stack_hwm_bytes"`
@@ -71,29 +80,30 @@ type benchFile struct {
 }
 
 var metrics = []metric{
-	{"time_cycles", false, func(r benchRun) (float64, bool) { return r.TimeCycles, r.TimeCycles > 0 }},
-	{"speedup", true, func(r benchRun) (float64, bool) { return r.Speedup, r.Speedup > 0 }},
-	{"heap_hwm_bytes", false, func(r benchRun) (float64, bool) { return r.HeapHWM, r.HeapHWM > 0 }},
-	{"stack_hwm_bytes", false, func(r benchRun) (float64, bool) { return r.StackHWM, r.StackHWM > 0 }},
-	{"total_hwm_bytes", false, func(r benchRun) (float64, bool) { return r.TotalHWM, r.TotalHWM > 0 }},
-	{"ns_per_dispatch", false, func(r benchRun) (float64, bool) { return r.NSDispatch, r.NSDispatch > 0 }},
-	{"analysis.work_cycles", false, func(r benchRun) (float64, bool) {
+	{"time_cycles", false, false, func(r benchRun) (float64, bool) { return r.TimeCycles, r.TimeCycles > 0 }},
+	{"wall_ms", false, true, func(r benchRun) (float64, bool) { return r.WallMS, r.WallMS > 0 }},
+	{"speedup", true, false, func(r benchRun) (float64, bool) { return r.Speedup, r.Speedup > 0 }},
+	{"heap_hwm_bytes", false, false, func(r benchRun) (float64, bool) { return r.HeapHWM, r.HeapHWM > 0 }},
+	{"stack_hwm_bytes", false, false, func(r benchRun) (float64, bool) { return r.StackHWM, r.StackHWM > 0 }},
+	{"total_hwm_bytes", false, false, func(r benchRun) (float64, bool) { return r.TotalHWM, r.TotalHWM > 0 }},
+	{"ns_per_dispatch", false, false, func(r benchRun) (float64, bool) { return r.NSDispatch, r.NSDispatch > 0 }},
+	{"analysis.work_cycles", false, false, func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Work })
 	}},
-	{"analysis.depth_cycles", false, func(r benchRun) (float64, bool) {
+	{"analysis.depth_cycles", false, false, func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Depth })
 	}},
-	{"analysis.serial_space_bytes", false, func(r benchRun) (float64, bool) {
+	{"analysis.serial_space_bytes", false, false, func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.S1 })
 	}},
-	{"analysis.peak_bytes", false, func(r benchRun) (float64, bool) {
+	{"analysis.peak_bytes", false, false, func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Peak })
 	}},
 	// Contention: total virtual time spent waiting on the scheduler lock
 	// (histogram sum from the run's metrics snapshot). Zero is a valid
 	// value — an uncontended run is comparable and any growth is a
 	// regression — so presence of the histogram, not positivity, gates it.
-	{"sched.lock.wait", false, func(r benchRun) (float64, bool) {
+	{"sched.lock.wait", false, false, func(r benchRun) (float64, bool) {
 		if r.Metrics == nil {
 			return 0, false
 		}
@@ -115,8 +125,16 @@ func key(r benchRun) string {
 	if r.Batch > 0 {
 		k += fmt.Sprintf("|b%d", r.Batch)
 	}
+	if r.Backend != "" {
+		k += "|" + r.Backend
+	}
 	return k
 }
+
+// gated reports whether a run participates in the regression gate.
+// Native-backend rows are wall-clock measurements on whatever host ran
+// them — they are printed for the record but never fail the diff.
+func gated(r benchRun) bool { return r.Backend != "native" }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -217,8 +235,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			mark := ""
 			if *threshold > 0 && worse > *threshold {
-				mark = "  REGRESSION"
-				regressed = true
+				if gated(nr) && !m.reportOnly {
+					mark = "  REGRESSION"
+					regressed = true
+				} else {
+					mark = "  (reported, not gated)"
+				}
 			}
 			if math.Abs(delta) >= 0.005 || mark != "" {
 				fmt.Fprintf(stdout, "%-40s %-28s %14.6g -> %14.6g  %+7.2f%%%s\n",

@@ -212,3 +212,70 @@ func TestAnalysisMetricsCompared(t *testing.T) {
 		t.Errorf("output missing analysis metric:\n%s", out.String())
 	}
 }
+
+// TestNativeRunsNotGated: a native-backend row blowing past the
+// threshold is reported but does not fail the diff; a sim row in the
+// same file still gates.
+func TestNativeRunsNotGated(t *testing.T) {
+	oldB := `{
+  "experiment": "backends",
+  "runs": [
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native", "wall_ms": 10.0},
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "sim", "wall_ms": 12.0, "time_cycles": 1000000}
+  ]
+}`
+	// Native wall clock 3x slower, and even the sim row's host wall
+	// clock moved: neither is a gate (wall_ms is report-only).
+	newOK := `{
+  "experiment": "backends",
+  "runs": [
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native", "wall_ms": 30.0},
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "sim", "wall_ms": 30.0, "time_cycles": 1000000}
+  ]
+}`
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", oldB), writeJSON(t, "new.json", newOK)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (native 3x slower is not a gate)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "not gated") {
+		t.Errorf("output missing the reported-not-gated marker:\n%s", out.String())
+	}
+
+	// The sim row's virtual time regressing still fails.
+	newBad := `{
+  "experiment": "backends",
+  "runs": [
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native", "wall_ms": 10.0},
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "sim", "wall_ms": 12.0, "time_cycles": 2000000}
+  ]
+}`
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", oldB), writeJSON(t, "new.json", newBad)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (sim rows still gate)\nstdout: %s", code, out.String())
+	}
+}
+
+// TestBackendInKey: rows differing only in backend are distinct runs.
+func TestBackendInKey(t *testing.T) {
+	oldB := `{
+  "experiment": "backends",
+  "runs": [{"policy": "adf", "procs": 4, "bench": "matmul", "backend": "sim", "time_cycles": 1000000}]
+}`
+	newB := `{
+  "experiment": "backends",
+  "runs": [{"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native", "wall_ms": 5.0}]
+}`
+	var out, errb bytes.Buffer
+	code := run([]string{writeJSON(t, "old.json", oldB), writeJSON(t, "new.json", newB)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "only in") {
+		t.Errorf("backend-mismatched rows matched each other:\n%s", out.String())
+	}
+}

@@ -28,6 +28,8 @@ import (
 func main() {
 	scale := flag.String("scale", "paper", "problem scale: small or paper")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts to sweep (default per experiment)")
+	backend := flag.String("backend", "", "execution backend for the backends experiment: sim, native, or both (default both)")
+	repeat := flag.Int("repeat", 1, "repetitions per wall-clock measurement; the median run is reported")
 	jsonOut := flag.Bool("json", false, "also rerun each experiment with instruments attached and write BENCH_<id>.json")
 	outDir := flag.String("outdir", ".", "directory for -json output files")
 	flag.Usage = usage
@@ -43,7 +45,17 @@ func main() {
 		return
 	}
 
-	opt := harness.Options{Scale: *scale}
+	switch *backend {
+	case "", "both", "sim", "native":
+	default:
+		fmt.Fprintf(os.Stderr, "ptbench: bad -backend %q (want sim, native, or both)\n", *backend)
+		os.Exit(2)
+	}
+	if *repeat < 1 {
+		fmt.Fprintf(os.Stderr, "ptbench: -repeat must be at least 1\n")
+		os.Exit(2)
+	}
+	opt := harness.Options{Scale: *scale, Backend: *backend, Repeat: *repeat}
 	if *procsFlag != "" {
 		for _, f := range strings.Split(*procsFlag, ",") {
 			p, err := strconv.Atoi(strings.TrimSpace(f))
@@ -133,7 +145,7 @@ func usage() {
 
 usage:
   ptbench list
-  ptbench [-scale small|paper] [-procs 1,2,4,8] [-json] <experiment id>...
+  ptbench [-scale small|paper] [-procs 1,2,4,8] [-backend sim|native|both] [-repeat N] [-json] <experiment id>...
   ptbench all
 
 experiments: %s

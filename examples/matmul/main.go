@@ -3,7 +3,7 @@
 // each scheduler to show the breadth-first explosion of the original
 // FIFO queue and the space efficiency of the ADF scheduler.
 //
-//	go run ./examples/matmul [-n 512] [-procs 8]
+//	go run ./examples/matmul [-n 512] [-procs 8] [-backend sim|native]
 package main
 
 import (
@@ -18,13 +18,24 @@ import (
 func main() {
 	n := flag.Int("n", 512, "matrix dimension (power of two)")
 	procs := flag.Int("procs", 8, "virtual processors")
+	backend := flag.String("backend", "sim", "execution backend: sim (deterministic virtual time) or native (real goroutines)")
 	flag.Parse()
+	be, err := parseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if be == pthread.BackendNative {
+		fmt.Println("native backend: times are wall-derived and vary between hosts and runs")
+	}
 
 	cfg := matmul.Config{N: *n, Check: true}
 
+	// The serial baseline runs on the same backend so the speedup column
+	// compares like with like (virtual vs virtual, or wall vs wall).
 	serial, err := pthread.Run(pthread.Config{
 		Procs:        1,
 		Policy:       pthread.PolicyLIFO,
+		Backend:      be,
 		DefaultStack: pthread.SmallStackSize,
 	}, matmul.Serial(cfg))
 	if err != nil {
@@ -40,6 +51,7 @@ func main() {
 		st, err := pthread.Run(pthread.Config{
 			Procs:        *procs,
 			Policy:       pol,
+			Backend:      be,
 			DefaultStack: pthread.SmallStackSize,
 		}, matmul.Fine(cfg))
 		if err != nil {
@@ -55,3 +67,14 @@ func main() {
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// parseBackend validates a -backend flag value against the library's
+// registered backends.
+func parseBackend(s string) (pthread.Backend, error) {
+	for _, b := range pthread.Backends() {
+		if string(b) == s {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("unknown -backend %q (want sim or native)", s)
+}

@@ -3,7 +3,7 @@
 // per-cell mutexes, force subtrees, update chunks), with no partitioning
 // scheme — the scheduler balances the load (paper Section 5.1.1).
 //
-//	go run ./examples/nbody [-n 10000] [-steps 2] [-procs 8]
+//	go run ./examples/nbody [-n 10000] [-steps 2] [-procs 8] [-backend sim|native]
 package main
 
 import (
@@ -20,12 +20,19 @@ func main() {
 	n := flag.Int("n", 10000, "number of Plummer-model bodies")
 	steps := flag.Int("steps", 2, "timesteps")
 	procs := flag.Int("procs", 8, "virtual processors")
+	backend := flag.String("backend", "sim", "execution backend: sim (deterministic virtual time) or native (real goroutines)")
 	flag.Parse()
+	be, err := parseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := barneshut.Config{N: *n, Steps: *steps, Check: true}
 
+	// Serial baseline on the same backend keeps the speedup ratio within
+	// one time domain (virtual vs virtual, or wall vs wall).
 	serial, err := pthread.Run(pthread.Config{
-		Procs: 1, Policy: pthread.PolicyLIFO, DefaultStack: pthread.SmallStackSize,
+		Procs: 1, Policy: pthread.PolicyLIFO, Backend: be, DefaultStack: pthread.SmallStackSize,
 	}, barneshut.Serial(cfg))
 	if err != nil {
 		log.Fatal(err)
@@ -33,7 +40,7 @@ func main() {
 
 	var final []barneshut.Vec3
 	fine, err := pthread.Run(pthread.Config{
-		Procs: *procs, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize,
+		Procs: *procs, Policy: pthread.PolicyADF, Backend: be, DefaultStack: pthread.SmallStackSize,
 	}, func(t *pthread.T) {
 		final = barneshut.FineRun(t, cfg)
 	})
@@ -53,4 +60,15 @@ func main() {
 		fine.Time, *procs, float64(serial.Time)/float64(fine.Time))
 	fmt.Printf("threads forked: %d (peak live %d)\n", fine.ThreadsCreated, fine.PeakLive)
 	fmt.Printf("rms radius    : %.4f (sanity: finite, order unity for Plummer)\n", rms)
+}
+
+// parseBackend validates a -backend flag value against the library's
+// registered backends.
+func parseBackend(s string) (pthread.Backend, error) {
+	for _, b := range pthread.Backends() {
+		if string(b) == s {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("unknown -backend %q (want sim or native)", s)
 }

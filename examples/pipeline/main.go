@@ -4,10 +4,11 @@
 // fork/join. Blocked threads keep their placeholder in the ADF ordered
 // list and resume at their serial position.
 //
-//	go run ./examples/pipeline
+//	go run ./examples/pipeline [-backend sim|native]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -60,6 +61,13 @@ func (q *queue) get(t *pthread.T) (int, bool) {
 }
 
 func main() {
+	backend := flag.String("backend", "sim", "execution backend: sim (deterministic virtual time) or native (real goroutines)")
+	flag.Parse()
+	be, err := parseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	const (
 		producers = 4
 		consumers = 6
@@ -73,6 +81,7 @@ func main() {
 	stats, err := pthread.Run(pthread.Config{
 		Procs:        4,
 		Policy:       pthread.PolicyADF,
+		Backend:      be,
 		DefaultStack: pthread.SmallStackSize,
 	}, func(t *pthread.T) {
 		var hs []*pthread.Thread
@@ -120,4 +129,15 @@ func main() {
 		log.Fatal("pipeline lost or duplicated items")
 	}
 	fmt.Println("ok: blocking mutexes and condition variables work under the space-efficient scheduler")
+}
+
+// parseBackend validates a -backend flag value against the library's
+// registered backends.
+func parseBackend(s string) (pthread.Backend, error) {
+	for _, b := range pthread.Backends() {
+		if string(b) == s {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("unknown -backend %q (want sim or native)", s)
 }

@@ -1,10 +1,11 @@
 // Quickstart: fork/join parallelism with lightweight threads on the
 // simulated multiprocessor, under the space-efficient scheduler.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-backend sim|native]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -32,11 +33,19 @@ func fib(t *pthread.T, n int) int {
 }
 
 func main() {
+	backend := flag.String("backend", "sim", "execution backend: sim (deterministic virtual time) or native (real goroutines)")
+	flag.Parse()
+	be, err := parseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, procs := range []int{1, 4, 8} {
 		var result int
 		stats, err := pthread.Run(pthread.Config{
 			Procs:        procs,
 			Policy:       pthread.PolicyADF, // the paper's space-efficient scheduler
+			Backend:      be,
 			DefaultStack: pthread.SmallStackSize,
 		}, func(t *pthread.T) {
 			result = fib(t, 24)
@@ -53,3 +62,15 @@ func main() {
 }
 
 func fmtMB(b int64) string { return fmt.Sprintf("%.2fMB", float64(b)/(1<<20)) }
+
+// parseBackend validates a -backend flag value against the library's
+// registered backends. Native times are wall-derived, so runs vary
+// between hosts; sim runs are deterministic.
+func parseBackend(s string) (pthread.Backend, error) {
+	for _, b := range pthread.Backends() {
+		if string(b) == s {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("unknown -backend %q (want sim or native)", s)
+}

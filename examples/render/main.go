@@ -2,7 +2,7 @@
 // fine-grained tile threads and writes the image as a PGM file — the
 // computation is real, only the clock is virtual.
 //
-//	go run ./examples/render [-size 256] [-volume 128] [-out head.pgm]
+//	go run ./examples/render [-size 256] [-volume 128] [-out head.pgm] [-backend sim|native]
 package main
 
 import (
@@ -21,7 +21,12 @@ func main() {
 	volumeW := flag.Int("volume", 128, "volume edge in voxels")
 	out := flag.String("out", "head.pgm", "output PGM path")
 	procs := flag.Int("procs", 8, "virtual processors")
+	backend := flag.String("backend", "sim", "execution backend: sim (deterministic virtual time) or native (real goroutines)")
 	flag.Parse()
+	be, err := parseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := volrend.Config{
 		Gen:       volrend.GenConfig{W: *volumeW},
@@ -33,6 +38,7 @@ func main() {
 	stats, err := pthread.Run(pthread.Config{
 		Procs:        *procs,
 		Policy:       pthread.PolicyDFD, // locality-aware: neighbouring tiles share TLB state
+		Backend:      be,
 		DefaultStack: pthread.SmallStackSize,
 	}, func(t *pthread.T) {
 		pix = volrend.RenderImage(t, cfg)
@@ -49,6 +55,17 @@ func main() {
 	fmt.Printf("virtual time %v, %d threads, peak live %d\n",
 		stats.Time, stats.ThreadsCreated, stats.PeakLive)
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// parseBackend validates a -backend flag value against the library's
+// registered backends.
+func parseBackend(s string) (pthread.Backend, error) {
+	for _, b := range pthread.Backends() {
+		if string(b) == s {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("unknown -backend %q (want sim or native)", s)
 }
 
 // writePGM stores the intensity buffer as an 8-bit binary PGM.

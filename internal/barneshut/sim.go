@@ -94,7 +94,7 @@ func updateRange(t *pthread.T, b *Bodies, lo, hi int, dt float64) {
 // the forces on the bodies in its subtree (the paper's fine-grained
 // force phase, which needs no partitioning scheme).
 func forceSubtrees(t *pthread.T, tr *Tree, n *Node, cfg Config) {
-	if n.leaf || n.LeafCount() <= cfg.SubtreeLeaves {
+	if n.isLeaf() || n.LeafCount() <= cfg.SubtreeLeaves {
 		bodies := n.CollectBodies(nil)
 		forceRange(t, tr, bodies, 0, len(bodies), cfg)
 		return

@@ -3,6 +3,7 @@ package barneshut
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"spthreads/pthread"
 )
@@ -24,8 +25,12 @@ type Node struct {
 	Center Vec3
 	Half   float64
 
-	mu       pthread.Mutex
-	leaf     bool
+	mu pthread.Mutex
+	// split flips once, leaf -> internal. It is atomic because the
+	// insertion descent reads it without the cell lock (the SPLASH-2
+	// lock-free descent); the splitter populates children before the
+	// release store, so a descent that observes split may follow them.
+	split    atomic.Bool
 	bodies   []int32
 	children [8]*Node
 
@@ -33,6 +38,10 @@ type Node struct {
 	Mass float64
 	COM  Vec3
 }
+
+// isLeaf reports whether n is still a leaf. Safe without the cell lock:
+// the acquire load pairs with the splitter's release store.
+func (n *Node) isLeaf() bool { return !n.split.Load() }
 
 // Tree is an octree over a set of bodies, with an arena-style node
 // allocator (nodes are carved from simulated chunks, the way real
@@ -54,7 +63,7 @@ const nodeBytes = 160
 func NewTree(t *pthread.T, b *Bodies) *Tree {
 	center, half := b.Bounds()
 	tr := &Tree{b: b}
-	tr.Root = &Node{Center: center, Half: half, leaf: true}
+	tr.Root = &Node{Center: center, Half: half}
 	tr.arenas = append(tr.arenas, t.Malloc(arenaNodes*nodeBytes))
 	return tr
 }
@@ -82,7 +91,7 @@ func (ins *inserter) newNode(t *pthread.T, center Vec3, half float64) *Node {
 		ins.free = arenaNodes
 	}
 	ins.free--
-	return &Node{Center: center, Half: half, leaf: true}
+	return &Node{Center: center, Half: half}
 }
 
 // octant returns the child index of position p relative to center c.
@@ -125,13 +134,13 @@ func (ins *inserter) insert(t *pthread.T, i int32) {
 	n := ins.tr.Root
 	levels := int64(1)
 	for {
-		if !n.leaf {
+		if !n.isLeaf() {
 			n = n.children[octant(n.Center, pos)]
 			levels++
 			continue
 		}
 		n.mu.Lock(t)
-		if !n.leaf {
+		if !n.isLeaf() {
 			// A concurrent split beat us; resume the descent.
 			n.mu.Unlock(t)
 			continue
@@ -151,7 +160,7 @@ func (ins *inserter) insert(t *pthread.T, i int32) {
 			ch.bodies = append(ch.bodies, bi)
 		}
 		n.bodies = nil
-		n.leaf = false
+		n.split.Store(true)
 		n.mu.Unlock(t)
 	}
 	t.Charge(levels * CyclesPerInsertLevel)
@@ -199,7 +208,7 @@ func (tr *Tree) ComputeCOM(t *pthread.T, parallel bool) {
 }
 
 func (tr *Tree) com(t *pthread.T, n *Node, depth int, parallel bool) {
-	if n.leaf {
+	if n.isLeaf() {
 		sort.Slice(n.bodies, func(a, b int) bool { return n.bodies[a] < n.bodies[b] })
 		var m float64
 		var c Vec3
@@ -257,7 +266,7 @@ func (tr *Tree) accBody(i int32, theta, eps2 float64) (Vec3, int) {
 		}
 		d := n.COM.Sub(pos)
 		r2 := d.Norm2() + eps2
-		if n.leaf {
+		if n.isLeaf() {
 			for _, bi := range n.bodies {
 				if bi == i {
 					continue
@@ -294,7 +303,7 @@ func AccBody(tr *Tree, i int32, theta, eps2 float64) Vec3 {
 
 // LeafCount returns the number of leaves under n.
 func (n *Node) LeafCount() int {
-	if n.leaf {
+	if n.isLeaf() {
 		return 1
 	}
 	c := 0
@@ -307,7 +316,7 @@ func (n *Node) LeafCount() int {
 // CollectBodies appends the body indices under n in traversal order
 // (the spatial order costzones partitions over).
 func (n *Node) CollectBodies(out []int32) []int32 {
-	if n.leaf {
+	if n.isLeaf() {
 		return append(out, n.bodies...)
 	}
 	for _, ch := range n.children {
@@ -318,7 +327,7 @@ func (n *Node) CollectBodies(out []int32) []int32 {
 
 // Children exposes a node's children for diagnostics.
 func (n *Node) Children() []*Node {
-	if n.leaf {
+	if n.isLeaf() {
 		return nil
 	}
 	return n.children[:]

@@ -107,6 +107,10 @@ const DefaultStackSize int64 = 1 << 20
 // SmallStackSize is one page, the paper's reduced default.
 const SmallStackSize int64 = 8 << 10
 
+// DefaultSchedBatch is the per-processor Q_out capacity B used by the
+// batched scheduler modes when Config.SchedBatch is zero.
+const DefaultSchedBatch = 8
+
 // Machine is one simulated multiprocessor run. It is not reusable: build
 // one per Run.
 type Machine struct {
@@ -330,7 +334,7 @@ func (m *Machine) resolveSchedMode() error {
 	}
 	batch := m.cfg.SchedBatch
 	if batch == 0 {
-		batch = 8
+		batch = DefaultSchedBatch
 	}
 	bn, ok := m.policy.(BatchNexter)
 	if batch <= 1 || !ok || !m.policy.Global() {

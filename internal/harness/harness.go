@@ -23,9 +23,40 @@ type Options struct {
 	Scale string
 	// Procs overrides the processor counts swept (nil keeps defaults).
 	Procs []int
+	// Backend restricts the execution backends the backend-comparison
+	// experiment sweeps: "sim", "native", or "" / "both" for both. The
+	// paper-reproduction experiments are defined in deterministic
+	// virtual time and always run on the simulator.
+	Backend string
+	// Repeat is the repetition count for wall-clock measurements: each
+	// configuration runs Repeat times and the median-wall-time run is
+	// reported (default 1). Virtual-time results are deterministic and
+	// never repeated.
+	Repeat int
 }
 
 func (o Options) paper() bool { return o.Scale == "paper" }
+
+// backends resolves the Backend option to the list of backends to
+// sweep.
+func (o Options) backends() []pthread.Backend {
+	switch o.Backend {
+	case "sim":
+		return []pthread.Backend{pthread.BackendSim}
+	case "native":
+		return []pthread.Backend{pthread.BackendNative}
+	default:
+		return []pthread.Backend{pthread.BackendSim, pthread.BackendNative}
+	}
+}
+
+// repeatCount resolves the Repeat option.
+func (o Options) repeatCount() int {
+	if o.Repeat > 1 {
+		return o.Repeat
+	}
+	return 1
+}
 
 func (o Options) procs(def []int) []int {
 	if len(o.Procs) > 0 {

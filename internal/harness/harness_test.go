@@ -12,8 +12,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"abldummy", "ablk", "ablloc", "ablsched", "ablws", "bound-audit",
-		"contention", "dispatch",
+		"abldummy", "ablk", "ablloc", "ablsched", "ablws", "backends",
+		"bound-audit", "contention", "dispatch",
 		"fig1", "fig10", "fig11", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"scale", "space",
 	}

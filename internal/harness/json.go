@@ -26,6 +26,17 @@ type BenchRun struct {
 	// Batch is the scheduler batch size B for the contention experiment
 	// (1 = direct per-operation locking).
 	Batch int `json:"batch,omitempty"`
+	// Backend names the execution backend for the backend-comparison
+	// experiment ("sim" or "native"; empty rows are sim).
+	Backend string `json:"backend,omitempty"`
+
+	// Wall-clock runtime in milliseconds, host-measured around the run
+	// (the median run when Repeat > 1). The only meaningful time under
+	// the native backend; informational for sim rows.
+	WallMS float64 `json:"wall_ms,omitempty"`
+	// Repeat is how many repetitions the wall-clock median was taken
+	// over.
+	Repeat int `json:"repeat,omitempty"`
 
 	// Virtual-time results.
 	TimeCycles int64   `json:"time_cycles,omitempty"`

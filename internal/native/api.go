@@ -1,0 +1,243 @@
+package native
+
+import (
+	"fmt"
+	"time"
+
+	"spthreads/internal/core"
+	"spthreads/internal/exec"
+	"spthreads/internal/vtime"
+)
+
+// Thread-facing operations (exec.Backend). All run in thread context:
+// on the goroutine of the thread passed as the first argument, while
+// that thread holds a worker.
+
+// nt unwraps an exec.Thread to this backend's representation.
+func nt(t exec.Thread) *thread { return t.(*thread) }
+
+// Fork implements exec.Backend. Under policies with the paper's fork
+// semantics (OnCreate returns true) the parent is preempted and its
+// worker runs the child immediately.
+func (b *Backend) Fork(pt exec.Thread, attr core.Attr, fn func(exec.Thread)) exec.Thread {
+	return b.fork(nt(pt), attr, fn, false)
+}
+
+// fork is Fork with the dummy marker settable before the child can run.
+func (b *Backend) fork(t *thread, attr core.Attr, fn func(exec.Thread), dummy bool) *thread {
+	child := b.newThread(attr, fn)
+	child.isDummy = dummy
+	b.chargeStack(child)
+	b.mu.Lock()
+	b.admit(child)
+	child.span = t.span
+	if b.policy.OnCreate(t.tok, child.tok) {
+		// Parent preempted; this worker executes the child now.
+		t.state = core.StateReady
+		b.policy.OnReady(t.tok, t.pid)
+		b.ready++
+		b.running--
+		b.markRunning(child, t.pid)
+		b.cond.Signal() // the parent is dispatchable by another worker
+		b.mu.Unlock()
+		t.yieldPark(yieldMsg{next: child})
+		return child
+	}
+	// The policy placed the child in its ready structure.
+	child.state = core.StateReady
+	b.ready++
+	b.cond.Signal()
+	b.mu.Unlock()
+	return child
+}
+
+// Join implements exec.Backend (POSIX single-joiner semantics).
+func (b *Backend) Join(pt exec.Thread, ptarget exec.Thread) error {
+	t := nt(pt)
+	if ptarget == nil {
+		return fmt.Errorf("native: join with nil thread")
+	}
+	target := nt(ptarget)
+	b.mu.Lock()
+	switch {
+	case target == t:
+		b.mu.Unlock()
+		return fmt.Errorf("native: %s cannot join itself", t.Name())
+	case target.detached:
+		b.mu.Unlock()
+		return fmt.Errorf("native: %s is detached", target.Name())
+	case target.joined:
+		b.mu.Unlock()
+		return fmt.Errorf("native: %s already joined", target.Name())
+	case target.joiner != nil:
+		b.mu.Unlock()
+		return fmt.Errorf("native: %s already has a joiner", target.Name())
+	}
+	target.joined = true
+	if !target.done {
+		target.joiner = t
+		t.state = core.StateBlocked
+		b.policy.OnBlock(t.tok)
+		b.running--
+		b.mu.Unlock()
+		t.yieldPark(yieldMsg{})
+	} else {
+		b.mu.Unlock()
+	}
+	// A join edge: the target's critical path feeds ours. target.done
+	// was set before we were readied (or before we observed it under
+	// b.mu), so exitedSpan is stable here.
+	if target.exitedSpan > t.span {
+		t.span = target.exitedSpan
+	}
+	return nil
+}
+
+// Exit implements exec.Backend (pthread_exit).
+func (b *Backend) Exit(t exec.Thread) {
+	panic(threadExit{})
+}
+
+// Yield implements exec.Backend (sched_yield).
+func (b *Backend) Yield(pt exec.Thread) {
+	b.preemptNow(nt(pt))
+}
+
+// Charge accounts cycles of user computation against the thread's work
+// and span. The cycles are bookkeeping (speedup and parallelism stay
+// comparable with sim runs); native wall time passes on its own.
+func (b *Backend) Charge(pt exec.Thread, cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	t := nt(pt)
+	d := vtime.Duration(cycles)
+	t.work += d
+	t.span += d
+	b.workers[t.pid].stats.Work += d
+	if b.timeSlice > 0 {
+		t.sinceDispatch += d
+		if t.sinceDispatch >= b.timeSlice {
+			b.preemptNow(t)
+		}
+	}
+}
+
+// Malloc allocates n accounted bytes, applying the policy's quota
+// discipline: over-quota allocations fork dummy throttling threads and
+// quota exhaustion preempts the caller — the mechanisms behind the
+// S1 + O(p·D) bound run for real here.
+func (b *Backend) Malloc(pt exec.Thread, n int64) core.Alloc {
+	t := nt(pt)
+	if n <= 0 {
+		panic(fmt.Sprintf("native: Malloc(%d)", n))
+	}
+	if d := b.policy.AllocDummies(n); d > 0 {
+		b.forkDummies(t, d)
+	}
+	addr := b.mem.allocHeap(n)
+	b.allocTally.Add(1)
+	b.sampleSpace()
+	a := core.Alloc{Addr: addr, Size: n}
+	if b.quota > 0 {
+		t.quotaLeft -= n
+		if t.quotaLeft <= 0 {
+			b.quotaTally.Add(1)
+			b.preemptNow(t)
+		}
+	}
+	return a
+}
+
+// Free releases an accounted allocation.
+func (b *Backend) Free(pt exec.Thread, a core.Alloc) {
+	if a.Addr == 0 {
+		return
+	}
+	b.mem.freeHeap(a.Size)
+	b.freeTally.Add(1)
+	b.sampleSpace()
+}
+
+// Touch validates the access range; the native backend has no TLB or
+// paging model to charge.
+func (b *Backend) Touch(pt exec.Thread, a core.Alloc, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	if off < 0 || off+n > a.Size {
+		panic(fmt.Sprintf("native: Touch [%d,%d) outside allocation of %d bytes", off, off+n, a.Size))
+	}
+}
+
+// Prefault is a no-op natively (no page model).
+func (b *Backend) Prefault(pt exec.Thread, a core.Alloc) {}
+
+// Sleep parks the thread for at least d of virtual time, mapped to wall
+// time at the calibrated clock rate.
+func (b *Backend) Sleep(pt exec.Thread, d vtime.Duration) {
+	t := nt(pt)
+	if d <= 0 {
+		b.preemptNow(t)
+		return
+	}
+	b.mu.Lock()
+	t.state = core.StateBlocked
+	b.policy.OnBlock(t.tok)
+	b.running--
+	b.sleepers++
+	b.mu.Unlock()
+	time.AfterFunc(vToWall(d), func() { b.wakeSleeper(t) })
+	t.yieldPark(yieldMsg{})
+}
+
+// wakeSleeper readies a timer-parked thread.
+func (b *Backend) wakeSleeper(t *thread) {
+	b.mu.Lock()
+	b.sleepers--
+	if b.done {
+		b.mu.Unlock()
+		return
+	}
+	t.state = core.StateReady
+	b.policy.OnReady(t.tok, -1)
+	b.ready++
+	b.cond.Signal()
+	b.mu.Unlock()
+}
+
+// Now returns elapsed wall time as virtual cycles.
+func (b *Backend) Now(pt exec.Thread) vtime.Time {
+	return vtime.Time(wallToV(time.Since(b.start)))
+}
+
+// forkDummies creates d no-op dummy threads as a binary tree rooted at
+// a single child of t, mirroring the paper's allocation throttling:
+// because each dummy fork preempts its parent under ADF, the
+// allocating thread re-enters the ready list behind the dummies and
+// other, lower-footprint threads get scheduled first.
+func (b *Backend) forkDummies(t *thread, d int) {
+	if d <= 0 {
+		return
+	}
+	b.dummyTally.Add(int64(d))
+	b.forkDummySubtree(t, d)
+}
+
+func (b *Backend) forkDummySubtree(t *thread, count int) {
+	attr := core.Attr{StackSize: core.SmallStackSize, Detached: true}
+	b.fork(t, attr, func(dt exec.Thread) {
+		rem := count - 1
+		if rem <= 0 {
+			return
+		}
+		left := rem / 2
+		right := rem - left
+		if left > 0 {
+			b.forkDummySubtree(nt(dt), left)
+		}
+		if right > 0 {
+			b.forkDummySubtree(nt(dt), right)
+		}
+	}, true)
+}

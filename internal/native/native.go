@@ -1,0 +1,498 @@
+// Package native executes lightweight-thread programs on real
+// goroutines — the execution backend the paper's artifact corresponds
+// to, as opposed to the deterministic virtual-time simulation in
+// internal/core.
+//
+// Each lightweight thread is a goroutine that is parked on a channel
+// whenever the scheduling policy has not assigned it a processor; p
+// worker goroutines (Config.Procs, default GOMAXPROCS) pull threads
+// from the shared policy structure and run exactly one at a time each,
+// so at most p lightweight threads make progress concurrently — the
+// same execution model as the paper's library on an 8-way SMP.
+//
+// The scheduling policies from internal/sched are reused unchanged:
+// every policy call happens under the backend's scheduler lock (b.mu),
+// which is a real sync.Mutex rather than the simulator's modeled lock.
+// The ADF ordered placeholder list therefore becomes genuinely shared
+// state, and the two-level Q_out batching (Config.SchedBatch) amortizes
+// real lock acquisitions instead of simulated ones.
+//
+// Ordering invariant for blocking: a thread marks itself blocked in the
+// policy (OnBlock, under b.mu) *before* registering with a sync
+// object's waiter list. A waker can therefore only observe the waiter
+// after its OnBlock, so the policy always sees OnBlock before the
+// matching OnReady. The park/resume channels are unbuffered, which
+// makes wake-before-park safe: a worker dispatching a freshly woken
+// thread simply blocks in the resume send until the thread reaches its
+// park.
+//
+// Timing is wall-clock: Charge still accounts the charged cycles into
+// thread work/span (so speedup and parallelism remain comparable), but
+// Stats.Time is the elapsed wall time converted to virtual cycles at
+// the calibrated clock rate. Runs are not deterministic.
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spthreads/internal/core"
+	"spthreads/internal/exec"
+	"spthreads/internal/metrics"
+	"spthreads/internal/spaceprof"
+	"spthreads/internal/vtime"
+)
+
+// Config describes one native run.
+type Config struct {
+	// Procs is the number of worker goroutines (default GOMAXPROCS).
+	Procs int
+	// Policy is the scheduling policy (required). It is only ever
+	// invoked under the backend's scheduler lock.
+	Policy core.Policy
+	// DefaultStack is the default simulated stack size charged per
+	// thread (default core.DefaultStackSize).
+	DefaultStack int64
+	// SchedBatch, when > 1 and the policy implements core.BatchNexter,
+	// enables per-worker batch refill: a worker pulls up to SchedBatch
+	// threads from the policy in one critical section and runs them
+	// without re-taking the scheduler lock.
+	SchedBatch int
+	// Metrics, when non-nil, receives the run's instrument values.
+	Metrics *metrics.Registry
+	// SpaceProf, when non-nil, samples the live footprint over time
+	// (timestamps are wall time converted to virtual cycles).
+	SpaceProf *spaceprof.Profiler
+}
+
+// Backend is one native run. It is single-shot: build one per Execute.
+type Backend struct {
+	procs        int
+	policy       core.Policy
+	batchNext    core.BatchNexter // non-nil only when batching is active
+	batch        int
+	quota        int64
+	timeSlice    vtime.Duration
+	defaultStack int64
+
+	// mu is the scheduler lock: it guards the policy structure, the
+	// thread-lifecycle fields below, and every counter not marked
+	// atomic. cond signals idle workers when work becomes ready.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	byTok    map[*core.Thread]*thread // live threads by policy token
+	ready    int                      // threads in the policy's ready structure
+	qoutN    int                      // threads parked in worker-local batches
+	running  int                      // threads currently assigned to workers
+	sleepers int                      // threads parked on pending timers
+	idle     int                      // workers waiting in cond.Wait
+	live     int
+	peakLive int
+	created  int64
+	nextID   int64
+	maxSpan  vtime.Duration
+	err      error
+	done     bool
+	executed bool
+
+	start time.Time
+
+	mem mem // atomic footprint accounting
+
+	// Atomic tallies flushed into the metrics registry at stats time
+	// (these fire in thread context without the scheduler lock).
+	allocTally   atomic.Int64
+	freeTally    atomic.Int64
+	dummyTally   atomic.Int64
+	quotaTally   atomic.Int64
+	dispatchTally atomic.Int64
+
+	spMu      sync.Mutex // serializes SpaceProf samples
+	spaceProf *spaceprof.Profiler
+	registry  *metrics.Registry
+	liveGauge *metrics.Gauge
+
+	workers []*worker
+	wg      sync.WaitGroup // workers
+	twg     sync.WaitGroup // launched thread goroutines
+}
+
+// worker is one processor's local state. qout is only appended/popped
+// by the owning worker, under b.mu.
+type worker struct {
+	qout  []*thread
+	stats core.ProcStats
+}
+
+// New builds a native backend from cfg.
+func New(cfg Config) (*Backend, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("native: Config.Policy is required")
+	}
+	procs := cfg.Procs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	stack := cfg.DefaultStack
+	if stack <= 0 {
+		stack = core.DefaultStackSize
+	}
+	b := &Backend{
+		procs:        procs,
+		policy:       cfg.Policy,
+		quota:        cfg.Policy.Quota(),
+		timeSlice:    cfg.Policy.TimeSlice(),
+		defaultStack: stack,
+		byTok:        make(map[*core.Thread]*thread),
+		spaceProf:    cfg.SpaceProf,
+		registry:     cfg.Metrics,
+		liveGauge:    cfg.Metrics.Gauge("threads.live"),
+		workers:      make([]*worker, procs),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	for i := range b.workers {
+		b.workers[i] = &worker{}
+	}
+	if cfg.SchedBatch > 1 {
+		if bn, ok := cfg.Policy.(core.BatchNexter); ok {
+			b.batchNext = bn
+			b.batch = cfg.SchedBatch
+		}
+	}
+	return b, nil
+}
+
+// Name implements exec.Backend.
+func (b *Backend) Name() string { return "native" }
+
+// Execute implements exec.Backend: it runs main as the root thread on
+// b.procs workers and blocks until the run completes.
+func (b *Backend) Execute(main func(exec.Thread)) (core.Stats, error) {
+	if b.executed {
+		return core.Stats{}, fmt.Errorf("native: backend already executed")
+	}
+	b.executed = true
+	b.start = time.Now()
+
+	root := b.newThread(core.Attr{Name: "main"}, main)
+	b.chargeStack(root)
+	b.mu.Lock()
+	b.admit(root)
+	b.policy.OnCreate(nil, root.tok)
+	root.state = core.StateReady
+	b.ready++
+	b.mu.Unlock()
+
+	b.wg.Add(b.procs)
+	for pid := 0; pid < b.procs; pid++ {
+		go b.runWorker(pid)
+	}
+	b.wg.Wait()
+	b.poisonParked()
+	b.twg.Wait()
+	return b.stats(), b.err
+}
+
+// runWorker is one processor loop: pull the next assigned thread, run
+// it to its next handoff, and follow fork-child chains directly.
+func (b *Backend) runWorker(pid int) {
+	defer b.wg.Done()
+	for {
+		t := b.next(pid)
+		if t == nil {
+			return
+		}
+		for t != nil {
+			msg := b.resumeThread(t)
+			t = msg.next
+		}
+	}
+}
+
+// resumeThread hands the processor to t until t's next handoff. The
+// thread goroutine is launched lazily on first dispatch, exactly when
+// it first runs.
+func (b *Backend) resumeThread(t *thread) yieldMsg {
+	b.mu.Lock()
+	launch := !t.started
+	t.started = true
+	b.mu.Unlock()
+	if launch {
+		b.twg.Add(1)
+		go t.main()
+	} else {
+		t.resume <- struct{}{}
+	}
+	return <-t.yield
+}
+
+// next blocks until the policy assigns a thread to worker pid, the run
+// completes, or a deadlock is detected.
+func (b *Backend) next(pid int) *thread {
+	w := b.workers[pid]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.done {
+			return nil
+		}
+		if len(w.qout) > 0 {
+			t := w.qout[0]
+			copy(w.qout, w.qout[1:])
+			w.qout = w.qout[:len(w.qout)-1]
+			b.qoutN--
+			b.markRunning(t, pid)
+			return t
+		}
+		if b.ready > 0 {
+			if b.batchNext != nil {
+				toks := b.batchNext.NextBatch(pid, b.batch)
+				if len(toks) > 0 {
+					b.ready -= len(toks)
+					for _, tok := range toks[1:] {
+						w.qout = append(w.qout, b.byTok[tok])
+						b.qoutN++
+					}
+					t := b.byTok[toks[0]]
+					b.markRunning(t, pid)
+					return t
+				}
+			} else if tok := b.policy.Next(pid); tok != nil {
+				b.ready--
+				t := b.byTok[tok]
+				b.markRunning(t, pid)
+				return t
+			}
+		}
+		if b.live == 0 {
+			b.done = true
+			b.cond.Broadcast()
+			return nil
+		}
+		b.idle++
+		if b.idle == b.procs && b.running == 0 && b.sleepers == 0 &&
+			b.ready == 0 && b.qoutN == 0 {
+			b.failLocked(fmt.Errorf("native: deadlock: %d threads live, none runnable", b.live))
+			b.idle--
+			return nil
+		}
+		b.cond.Wait()
+		b.idle--
+	}
+}
+
+// markRunning assigns t to worker pid. Caller holds b.mu.
+func (b *Backend) markRunning(t *thread, pid int) {
+	t.state = core.StateRunning
+	t.pid = pid
+	t.quotaLeft = b.quota
+	t.sinceDispatch = 0
+	b.running++
+	b.workers[pid].stats.Dispatches++
+	b.dispatchTally.Add(1)
+}
+
+// blockPrep marks t blocked in the policy. It must be called on t's own
+// goroutine, before t is registered with any waiter list, and must be
+// followed by t.yieldPark.
+func (b *Backend) blockPrep(t *thread) {
+	b.mu.Lock()
+	t.state = core.StateBlocked
+	b.policy.OnBlock(t.tok)
+	b.running--
+	b.mu.Unlock()
+}
+
+// readyThread makes a blocked thread runnable again. pid is the waking
+// processor (-1 from timers).
+func (b *Backend) readyThread(t *thread, pid int) {
+	b.mu.Lock()
+	if !b.done {
+		t.state = core.StateReady
+		b.policy.OnReady(t.tok, pid)
+		b.ready++
+		b.cond.Signal()
+	}
+	b.mu.Unlock()
+}
+
+// preemptNow returns the calling thread to the ready structure and
+// hands its processor back (quota exhaustion, yield, time slice).
+func (b *Backend) preemptNow(t *thread) {
+	b.mu.Lock()
+	t.state = core.StateReady
+	b.policy.OnReady(t.tok, t.pid)
+	b.ready++
+	b.running--
+	b.cond.Signal()
+	b.mu.Unlock()
+	t.yieldPark(yieldMsg{})
+}
+
+// admit registers a freshly created thread. Caller holds b.mu.
+func (b *Backend) admit(t *thread) {
+	b.byTok[t.tok] = t
+	b.live++
+	b.created++
+	if b.live > b.peakLive {
+		b.peakLive = b.live
+	}
+	b.liveGauge.Set(int64(b.live))
+}
+
+// exitThread performs exit bookkeeping on t's own goroutine.
+func (b *Backend) exitThread(t *thread) {
+	b.freeStack(t)
+	b.mu.Lock()
+	t.state = core.StateExited
+	t.done = true
+	t.exitedSpan = t.span
+	if t.span > b.maxSpan {
+		b.maxSpan = t.span
+	}
+	b.policy.OnExit(t.tok)
+	delete(b.byTok, t.tok)
+	b.live--
+	b.running--
+	b.liveGauge.Set(int64(b.live))
+	if j := t.joiner; j != nil {
+		j.state = core.StateReady
+		b.policy.OnReady(j.tok, t.pid)
+		b.ready++
+		b.cond.Signal()
+	}
+	if b.live == 0 {
+		b.done = true
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// newThread builds a thread without admitting it.
+func (b *Backend) newThread(attr core.Attr, fn func(exec.Thread)) *thread {
+	if attr.Priority < 0 || attr.Priority >= core.NumPriorities {
+		panic(fmt.Sprintf("native: priority %d out of range", attr.Priority))
+	}
+	stack := attr.StackSize
+	if stack <= 0 {
+		stack = b.defaultStack
+	}
+	b.mu.Lock()
+	b.nextID++
+	id := b.nextID
+	b.mu.Unlock()
+	t := &thread{
+		b:         b,
+		id:        id,
+		tok:       &core.Thread{ID: id, Priority: attr.Priority},
+		attr:      attr,
+		fn:        fn,
+		detached:  attr.Detached,
+		stackSize: stack,
+		resume:    make(chan struct{}),
+		yield:     make(chan yieldMsg),
+	}
+	return t
+}
+
+// recordPanic records the first user panic and stops dispatching; the
+// remaining parked threads are poisoned at shutdown.
+func (b *Backend) recordPanic(t *thread, r any) {
+	b.mu.Lock()
+	b.failLocked(fmt.Errorf("native: %s panicked: %v", t.Name(), r))
+	b.mu.Unlock()
+}
+
+// failLocked records err (first error wins) and wakes all workers.
+// Caller holds b.mu.
+func (b *Backend) failLocked(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+	b.done = true
+	b.cond.Broadcast()
+}
+
+// poisonParked unwinds every started, still-parked thread goroutine
+// after the workers have exited (no thread is running then: started
+// live threads are parked in, or arriving at, their resume receive).
+func (b *Backend) poisonParked() {
+	b.mu.Lock()
+	var parked []*thread
+	for _, t := range b.byTok {
+		if t.started {
+			parked = append(parked, t)
+		}
+	}
+	b.mu.Unlock()
+	for _, t := range parked {
+		t.poison = true
+		t.resume <- struct{}{}
+	}
+}
+
+// stats assembles the run's statistics after all goroutines quiesced.
+func (b *Backend) stats() core.Stats {
+	elapsed := wallToV(time.Since(b.start))
+	if r := b.registry; r != nil {
+		r.Counter("sched.dispatches").Add(b.dispatchTally.Load())
+		r.Counter("sched.quota.preempts").Add(b.quotaTally.Load())
+		r.Counter("sched.dummy.forks").Add(b.dummyTally.Load())
+		r.Counter("mem.allocs").Add(b.allocTally.Load())
+		r.Counter("mem.frees").Add(b.freeTally.Load())
+	}
+	st := core.Stats{
+		Policy:         b.policy.Name(),
+		NumProcs:       b.procs,
+		Time:           elapsed,
+		Span:           b.maxSpan,
+		ThreadsCreated: b.created,
+		DummyThreads:   b.dummyTally.Load(),
+		PeakLive:       b.peakLive,
+		HeapHWM:        b.mem.heapHWM.Load(),
+		StackHWM:       b.mem.stackHWM.Load(),
+		TotalHWM:       b.mem.totalHWM.Load(),
+		Procs:          make([]core.ProcStats, b.procs),
+		Metrics:        b.registry.Snapshot(),
+	}
+	for i, w := range b.workers {
+		ps := w.stats
+		ps.Idle = elapsed - ps.Work
+		if ps.Idle < 0 {
+			ps.Idle = 0
+		}
+		st.Procs[i] = ps
+		st.Work += ps.Work
+	}
+	return st
+}
+
+// sampleSpace records one space-profile point at the current wall time.
+func (b *Backend) sampleSpace() {
+	sp := b.spaceProf
+	if sp == nil {
+		return
+	}
+	b.mu.Lock()
+	live := b.live
+	b.mu.Unlock()
+	b.spMu.Lock()
+	sp.Sample(vtime.Time(wallToV(time.Since(b.start))),
+		b.mem.liveHeap.Load(), b.mem.liveStack.Load(), live)
+	b.spMu.Unlock()
+}
+
+// wallToV converts elapsed wall time to virtual cycles at the
+// calibrated clock rate.
+func wallToV(d time.Duration) vtime.Duration {
+	return vtime.Duration(d.Nanoseconds() * vtime.CyclesPerMicrosecond / 1000)
+}
+
+// vToWall converts a virtual duration to wall time.
+func vToWall(d vtime.Duration) time.Duration {
+	return time.Duration(int64(d) * 1000 / vtime.CyclesPerMicrosecond)
+}

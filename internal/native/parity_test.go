@@ -1,0 +1,184 @@
+package native_test
+
+// Backend parity: the same program, run on the deterministic simulator
+// and on the native goroutine backend, must compute the same answer.
+// The benchmarks were written to be schedule-independent (disjoint
+// writes, leaf-sorted reductions), so checksums compare exactly even
+// though native interleavings vary run to run.
+
+import (
+	"math"
+	"testing"
+
+	"spthreads/internal/analyze"
+	"spthreads/internal/barneshut"
+	"spthreads/internal/dtree"
+	"spthreads/internal/matmul"
+	"spthreads/internal/trace"
+	"spthreads/pthread"
+)
+
+// runBoth executes fn under both backends with the given policy and
+// returns the two checksums.
+func runBoth(t *testing.T, procs int, policy pthread.Policy, fn func(*pthread.T) float64) (sim, native float64) {
+	t.Helper()
+	for _, backend := range pthread.Backends() {
+		var sum float64
+		cfg := pthread.Config{
+			Procs:        procs,
+			Policy:       policy,
+			Backend:      backend,
+			DefaultStack: pthread.SmallStackSize,
+		}
+		if _, err := pthread.Run(cfg, func(pt *pthread.T) { sum = fn(pt) }); err != nil {
+			t.Fatalf("%s run: %v", backend, err)
+		}
+		if backend == pthread.BackendSim {
+			sim = sum
+		} else {
+			native = sum
+		}
+	}
+	return sim, native
+}
+
+func matmulChecksum(t *pthread.T) float64 {
+	const n, leaf = 128, 32
+	a := matmul.New(t, n)
+	b := matmul.New(t, n)
+	c := matmul.New(t, n)
+	a.FillRandom(t, 1)
+	b.FillRandom(t, 2)
+	c.Zero(t)
+	matmul.ParallelMultAdd(t, a, b, c, leaf)
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum += c.At(i, j) * float64(i*131+j+1)
+		}
+	}
+	return sum
+}
+
+func barneshutChecksum(t *pthread.T) float64 {
+	acc := barneshut.FineRun(t, barneshut.Config{
+		N:           512,
+		Steps:       2,
+		Seed:        7,
+		InsertChunk: 64,
+	})
+	var sum float64
+	for i, a := range acc {
+		w := float64(i + 1)
+		sum += w * (a.X + 2*a.Y + 3*a.Z)
+	}
+	return sum
+}
+
+// dtreeChecksum hashes the built tree's structure: every split
+// attribute, threshold, and leaf label folded with the node count.
+func dtreeChecksum(t *pthread.T) float64 {
+	d := dtree.Generate(t, dtree.GenConfig{Instances: 8000, Attrs: 4, Seed: 3})
+	root := dtree.Build(t, d, 500)
+	var sum float64
+	var walk func(n *dtree.Node, depth float64)
+	walk = func(n *dtree.Node, depth float64) {
+		if n == nil {
+			return
+		}
+		if n.Leaf {
+			v := 1.0
+			if n.Class {
+				v = 2.0
+			}
+			sum += depth * (v + float64(n.Count))
+			return
+		}
+		sum += depth * (float64(n.Attr+1)*1e3 + n.Split)
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	walk(root, 1)
+	return float64(root.Size())*1e6 + sum
+}
+
+func TestMatmulParity(t *testing.T) {
+	for _, policy := range []pthread.Policy{pthread.PolicyADF, pthread.PolicyWS} {
+		sim, native := runBoth(t, 4, policy, matmulChecksum)
+		if sim != native || math.IsNaN(sim) {
+			t.Errorf("%s: sim checksum %v, native checksum %v", policy, sim, native)
+		}
+	}
+}
+
+func TestBarnesHutParity(t *testing.T) {
+	sim, native := runBoth(t, 4, pthread.PolicyADF, barneshutChecksum)
+	if sim != native || math.IsNaN(sim) {
+		t.Errorf("sim checksum %v, native checksum %v", sim, native)
+	}
+}
+
+func TestDtreeParity(t *testing.T) {
+	sim, native := runBoth(t, 4, pthread.PolicyADF, dtreeChecksum)
+	if sim != native || math.IsNaN(sim) {
+		t.Errorf("sim checksum %v, native checksum %v", sim, native)
+	}
+}
+
+// TestNativeSpaceEnvelope checks that the native backend's live-byte
+// accounting keeps the measured peak within the paper's S1 + c·p·D
+// envelope. S1 and D come from a traced sim run of the same program
+// (they are properties of the computation, not the schedule); c is the
+// constant fitted from the sim run's own audit, with headroom for the
+// nondeterministic native schedule.
+func TestNativeSpaceEnvelope(t *testing.T) {
+	const procs = 4
+	rec := trace.NewRecorder(1 << 20)
+	simCfg := pthread.Config{
+		Procs:        procs,
+		Policy:       pthread.PolicyADF,
+		DefaultStack: pthread.SmallStackSize,
+		Tracer:       rec,
+	}
+	simStats, err := pthread.Run(simCfg, func(pt *pthread.T) { matmulChecksum(pt) })
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	rep, err := analyze.Analyze(rec, analyze.Options{
+		Procs:        procs,
+		DefaultStack: pthread.SmallStackSize,
+		PeakHeap:     simStats.HeapHWM,
+		PeakStack:    simStats.StackHWM,
+		Peak:         simStats.TotalHWM,
+	})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if rep.SerialSpace <= 0 || rep.Depth <= 0 {
+		t.Fatalf("degenerate audit: S1=%d D=%d", rep.SerialSpace, rep.Depth)
+	}
+
+	natCfg := pthread.Config{
+		Procs:        procs,
+		Policy:       pthread.PolicyADF,
+		Backend:      pthread.BackendNative,
+		DefaultStack: pthread.SmallStackSize,
+	}
+	natStats, err := pthread.Run(natCfg, func(pt *pthread.T) { matmulChecksum(pt) })
+	if err != nil {
+		t.Fatalf("native run: %v", err)
+	}
+
+	// c fitted from the sim audit, floored at 1 byte per proc-us of
+	// depth and given 4x headroom: the native schedule is a different
+	// (legal) ADF execution, not the sim's.
+	c := math.Max(rep.C, 1) * 4
+	bound := rep.SerialSpace + int64(c*float64(procs)*rep.Depth.Microseconds())
+	if natStats.TotalHWM > bound {
+		t.Errorf("native peak %d bytes exceeds S1 + c·p·D = %d + %.0f·%d·%.0fus = %d",
+			natStats.TotalHWM, rep.SerialSpace, c, procs, rep.Depth.Microseconds(), bound)
+	}
+	if natStats.TotalHWM <= 0 {
+		t.Errorf("native peak not recorded: %d", natStats.TotalHWM)
+	}
+}

@@ -1,0 +1,117 @@
+package native
+
+import (
+	"fmt"
+
+	"spthreads/internal/core"
+	"spthreads/internal/exec"
+	"spthreads/internal/vtime"
+)
+
+// thread is one lightweight thread: a goroutine parked on an unbuffered
+// resume channel whenever it is not assigned a worker.
+type thread struct {
+	b       *Backend
+	id      int64
+	tok     *core.Thread // policy token (ID/Priority/SchedState only)
+	attr    core.Attr
+	fn      func(exec.Thread)
+	isDummy bool
+
+	stackSize int64
+
+	resume  chan struct{} // worker -> thread
+	yield   chan yieldMsg // thread -> worker
+	started bool          // guarded by b.mu
+	poison  bool          // set only after all workers exited
+
+	state core.State // guarded by b.mu
+	pid   int        // worker currently (or last) running this thread
+
+	// Accounting written only in thread context while running.
+	quotaLeft     int64
+	work          vtime.Duration
+	span          vtime.Duration
+	sinceDispatch vtime.Duration
+
+	// Join protocol, guarded by b.mu.
+	done       bool
+	detached   bool
+	joiner     *thread
+	joined     bool
+	exitedSpan vtime.Duration
+
+	tls map[any]any // only touched by the thread's own goroutine
+}
+
+// yieldMsg is a thread's handoff to its worker. next, when non-nil, is
+// a freshly forked child the worker must run immediately (the paper's
+// fork semantics).
+type yieldMsg struct {
+	next *thread
+}
+
+// threadExit is the panic payload used by Exit to unwind a thread.
+type threadExit struct{}
+
+// threadAbort unwinds parked threads when the run shuts down early.
+type threadAbort struct{}
+
+// exec.Thread implementation.
+
+func (t *thread) ID() int64 { return t.id }
+
+func (t *thread) Name() string {
+	if t.attr.Name != "" {
+		return t.attr.Name
+	}
+	if t.isDummy {
+		return fmt.Sprintf("dummy-%d", t.id)
+	}
+	return fmt.Sprintf("thread-%d", t.id)
+}
+
+func (t *thread) TLSGet(key any) any {
+	if t.tls == nil {
+		return nil
+	}
+	return t.tls[key]
+}
+
+func (t *thread) TLSSet(key, val any) {
+	if t.tls == nil {
+		t.tls = make(map[any]any)
+	}
+	t.tls[key] = val
+}
+
+// main is the thread goroutine body, launched at first dispatch.
+func (t *thread) main() {
+	defer t.b.twg.Done()
+	defer func() {
+		r := recover()
+		switch r.(type) {
+		case nil, threadExit:
+			// normal completion or pthread_exit unwind
+		case threadAbort:
+			// shutdown unwind: the workers are gone; no handoff
+			return
+		default:
+			t.b.recordPanic(t, r)
+		}
+		t.b.exitThread(t)
+		t.yield <- yieldMsg{}
+	}()
+	t.fn(t)
+}
+
+// yieldPark hands the worker msg and parks until redispatched. Must be
+// called on the thread's own goroutine, after all scheduler
+// bookkeeping for the handoff is done.
+func (t *thread) yieldPark(msg yieldMsg) {
+	t.yield <- msg
+	<-t.resume
+	if t.poison {
+		panic(threadAbort{})
+	}
+}

@@ -1,0 +1,73 @@
+package pthread_test
+
+// Config validation: Run must reject invalid configurations with a
+// descriptive error instead of misbehaving at runtime. One test per
+// rejection rule in newBackend.
+
+import (
+	"strings"
+	"testing"
+
+	"spthreads/pthread"
+)
+
+func mustReject(t *testing.T, cfg pthread.Config, want string) {
+	t.Helper()
+	_, err := pthread.Run(cfg, func(*pthread.T) {})
+	if err == nil {
+		t.Fatalf("Run accepted %+v, want error containing %q", cfg, want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %q, want it to contain %q", err, want)
+	}
+}
+
+func TestRejectNegativeProcs(t *testing.T) {
+	mustReject(t, pthread.Config{Procs: -1}, "negative Procs")
+}
+
+func TestRejectUnknownSchedMode(t *testing.T) {
+	mustReject(t, pthread.Config{SchedMode: "hierarchical"}, `unknown SchedMode "hierarchical"`)
+}
+
+func TestRejectUnknownPolicy(t *testing.T) {
+	mustReject(t, pthread.Config{Policy: "fair-share"}, "fair-share")
+}
+
+func TestRejectUnknownBackend(t *testing.T) {
+	mustReject(t, pthread.Config{Backend: "threads"}, `unknown Backend "threads"`)
+}
+
+func TestRejectBatchedModeWithoutBatchNexter(t *testing.T) {
+	for _, mode := range []pthread.SchedMode{pthread.SchedVolunteer, pthread.SchedDedicated} {
+		mustReject(t, pthread.Config{Policy: pthread.PolicyFIFO, SchedMode: mode},
+			"batch-capable policy")
+	}
+}
+
+func TestBatchOfOneDegeneratesToDirect(t *testing.T) {
+	// SchedBatch = 1 is the documented escape hatch: it runs the direct
+	// scheduler, so any policy is acceptable.
+	cfg := pthread.Config{Policy: pthread.PolicyFIFO, SchedMode: pthread.SchedVolunteer, SchedBatch: 1}
+	if _, err := pthread.Run(cfg, func(*pthread.T) {}); err != nil {
+		t.Fatalf("SchedBatch=1 rejected: %v", err)
+	}
+}
+
+func TestRejectNativeRecorders(t *testing.T) {
+	cfg := pthread.Config{Backend: pthread.BackendNative, Tracer: pthread.NewTraceRecorder(1 << 10)}
+	mustReject(t, cfg, "deterministic sim backend")
+	cfg = pthread.Config{Backend: pthread.BackendNative, DAG: pthread.NewDAGBuilder()}
+	mustReject(t, cfg, "deterministic sim backend")
+}
+
+func TestEmptyConfigDefaults(t *testing.T) {
+	// The zero Config runs: 1 proc, ADF, sim backend, direct mode.
+	st, err := pthread.Run(pthread.Config{}, func(t *pthread.T) { t.Charge(100) })
+	if err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if st.Policy != string(pthread.PolicyADF) {
+		t.Errorf("default policy = %q, want adf", st.Policy)
+	}
+}

@@ -1,6 +1,6 @@
 // Package pthread is a Pthreads-style lightweight-threads library with
 // pluggable, space-efficient scheduling, running on a deterministic
-// simulated multiprocessor.
+// simulated multiprocessor or natively on real goroutines.
 //
 // It reproduces the system studied in "Pthreads for Dynamic and
 // Irregular Parallelism" (Narlikar & Blelloch, SC 1998): programs create
@@ -26,12 +26,23 @@
 // tracked through Malloc/Free/Touch. Run returns deterministic Stats —
 // makespan, critical path, memory high-water marks, and per-processor
 // time breakdowns — for a fixed Config.
+//
+// The execution substrate is selectable through Config.Backend: the
+// default BackendSim runs on the deterministic virtual-time machine,
+// while BackendNative runs the same program on real goroutines
+// multiplexed over worker goroutines, scheduled by the same policies
+// behind a real scheduler lock and timed by the wall clock (results are
+// then machine- and load-dependent, not deterministic).
 package pthread
 
 import (
+	"fmt"
+
 	"spthreads/internal/core"
 	"spthreads/internal/dag"
+	"spthreads/internal/exec"
 	"spthreads/internal/metrics"
+	"spthreads/internal/native"
 	"spthreads/internal/sched"
 	"spthreads/internal/spaceprof"
 	"spthreads/internal/trace"
@@ -56,6 +67,24 @@ const (
 	// involuntary time slicing.
 	PolicyRR = sched.RR
 )
+
+// Backend names an execution backend.
+type Backend string
+
+// Available execution backends.
+const (
+	// BackendSim is the deterministic virtual-time simulated machine
+	// (the default; an empty Backend selects it).
+	BackendSim Backend = "sim"
+	// BackendNative runs lightweight threads as real goroutines on
+	// worker goroutines, with wall-clock timing. Runs are not
+	// deterministic and the trace/DAG recorders are unavailable.
+	BackendNative Backend = "native"
+)
+
+// Backends lists the selectable execution backends, for command-line
+// validation and enumeration.
+func Backends() []Backend { return []Backend{BackendSim, BackendNative} }
 
 // Stack size presets: the Solaris library default and the paper's
 // reduced one-page default.
@@ -95,12 +124,16 @@ type Alloc = core.Alloc
 // Stats summarizes a completed run; see core.Stats for the fields.
 type Stats = core.Stats
 
-// Config describes one run of the simulated machine.
+// Config describes one run.
 type Config struct {
-	// Procs is the number of virtual processors (default 1).
+	// Procs is the number of virtual processors (default 1; under
+	// BackendNative the number of worker goroutines, default
+	// GOMAXPROCS). Negative values are rejected.
 	Procs int
 	// Policy selects the scheduler (default PolicyADF).
 	Policy Policy
+	// Backend selects the execution substrate (default BackendSim).
+	Backend Backend
 	// MemQuota overrides ADF's allocation quota K in bytes.
 	MemQuota int64
 	// DisableDummies turns off ADF's dummy-thread throttling.
@@ -127,18 +160,21 @@ type Config struct {
 	Quantum vtime.Duration
 	// SchedMode selects the scheduler-lock discipline for global-queue
 	// policies: SchedDirect (default, per-operation locking) or the
-	// batched SchedVolunteer / SchedDedicated two-level schemes.
+	// batched SchedVolunteer / SchedDedicated two-level schemes. The
+	// batched modes require a policy with ordered batch removal
+	// (PolicyADF).
 	SchedMode SchedMode
 	// SchedBatch is the per-processor Q_out capacity B for the batched
-	// modes (default 8); values <= 1 degenerate to SchedDirect exactly.
+	// modes (default 8); SchedBatch = 1 degenerates to SchedDirect
+	// exactly.
 	SchedBatch int
 	// Tracer, when non-nil, records scheduler events for later
 	// inspection (Gantt charts, per-thread summaries) without
-	// affecting virtual time.
+	// affecting virtual time. Sim backend only.
 	Tracer *trace.Recorder
 	// DAG, when non-nil, records the computation graph for offline
 	// analysis (work, span, serial space S1, DOT export); attach a
-	// *dag.Builder from NewDAGBuilder.
+	// *dag.Builder from NewDAGBuilder. Sim backend only.
 	DAG *dag.Builder
 	// Metrics, when non-nil, collects scheduler/memory instruments
 	// (dispatch latencies, lock waits, quota preemptions, ADF
@@ -155,10 +191,22 @@ type Config struct {
 // order, for command-line validation and enumeration.
 func Policies() []Policy { return sched.Kinds() }
 
-// Run executes main as the root thread of a fresh simulated machine and
-// returns the run's statistics. It is an error for the computation to
-// deadlock, panic, or exceed the step limit.
-func Run(cfg Config, main func(*T)) (Stats, error) {
+// newBackend is the single constructor from a Config to an execution
+// backend: it validates the configuration, builds the scheduling
+// policy, and maps the public fields onto the selected backend's
+// configuration. Every Run goes through here, so there is exactly one
+// place where pthread.Config fields translate to runtime settings.
+func newBackend(cfg Config) (exec.Backend, error) {
+	if cfg.Procs < 0 {
+		return nil, fmt.Errorf("pthread: negative Procs (%d)", cfg.Procs)
+	}
+	switch cfg.SchedMode {
+	case "":
+		cfg.SchedMode = core.SchedDirect
+	case core.SchedDirect, core.SchedVolunteer, core.SchedDedicated:
+	default:
+		return nil, fmt.Errorf("pthread: unknown SchedMode %q", string(cfg.SchedMode))
+	}
 	if cfg.Policy == "" {
 		cfg.Policy = PolicyADF
 	}
@@ -171,31 +219,72 @@ func Run(cfg Config, main func(*T)) (Stats, error) {
 		Metrics:        cfg.Metrics,
 	})
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
-	ccfg := core.Config{
-		Procs:        cfg.Procs,
-		Policy:       pol,
-		CostModel:    cfg.CostModel,
-		DefaultStack: cfg.DefaultStack,
-		PhysMem:      cfg.PhysMem,
-		TLBEntries:   cfg.TLBEntries,
-		MaxSteps:     cfg.MaxSteps,
-		Quantum:      cfg.Quantum,
-		SchedMode:    cfg.SchedMode,
-		SchedBatch:   cfg.SchedBatch,
-		Tracer:       cfg.Tracer,
-		Metrics:      cfg.Metrics,
-		SpaceProf:    cfg.SpaceProf,
+	if cfg.SchedMode != core.SchedDirect && cfg.SchedBatch != 1 {
+		// A batched scheduler-lock discipline needs ordered batch removal
+		// from the ready structure; SchedBatch = 1 is the documented
+		// degenerate-to-direct escape hatch.
+		if _, ok := pol.(core.BatchNexter); !ok {
+			return nil, fmt.Errorf("pthread: SchedMode %q requires a batch-capable policy (have %q; only adf supports batch removal)",
+				string(cfg.SchedMode), cfg.Policy)
+		}
 	}
-	if cfg.DAG != nil {
-		ccfg.DAG = cfg.DAG
+	switch cfg.Backend {
+	case "", BackendSim:
+		ccfg := core.Config{
+			Procs:        cfg.Procs,
+			Policy:       pol,
+			CostModel:    cfg.CostModel,
+			DefaultStack: cfg.DefaultStack,
+			PhysMem:      cfg.PhysMem,
+			TLBEntries:   cfg.TLBEntries,
+			MaxSteps:     cfg.MaxSteps,
+			Quantum:      cfg.Quantum,
+			SchedMode:    cfg.SchedMode,
+			SchedBatch:   cfg.SchedBatch,
+			Tracer:       cfg.Tracer,
+			Metrics:      cfg.Metrics,
+			SpaceProf:    cfg.SpaceProf,
+		}
+		if cfg.DAG != nil {
+			ccfg.DAG = cfg.DAG
+		}
+		return exec.NewSim(ccfg)
+	case BackendNative:
+		if cfg.Tracer != nil || cfg.DAG != nil {
+			return nil, fmt.Errorf("pthread: the trace and DAG recorders need the deterministic sim backend")
+		}
+		batch := 0
+		if cfg.SchedMode == core.SchedVolunteer || cfg.SchedMode == core.SchedDedicated {
+			batch = cfg.SchedBatch
+			if batch == 0 {
+				batch = core.DefaultSchedBatch
+			}
+		}
+		return native.New(native.Config{
+			Procs:        cfg.Procs,
+			Policy:       pol,
+			DefaultStack: cfg.DefaultStack,
+			SchedBatch:   batch,
+			Metrics:      cfg.Metrics,
+			SpaceProf:    cfg.SpaceProf,
+		})
+	default:
+		return nil, fmt.Errorf("pthread: unknown Backend %q", string(cfg.Backend))
 	}
-	m, err := core.New(ccfg)
+}
+
+// Run executes main as the root thread of a fresh run of the selected
+// backend and returns the run's statistics. It is an error for the
+// computation to deadlock, panic, exceed the step limit, or for the
+// Config to be invalid.
+func Run(cfg Config, main func(*T)) (Stats, error) {
+	b, err := newBackend(cfg)
 	if err != nil {
 		return Stats{}, err
 	}
-	return m.Execute(func(th *core.Thread) {
-		main(&T{th: th, m: m})
+	return b.Execute(func(th exec.Thread) {
+		main(&T{th: th, b: b})
 	})
 }

@@ -1,39 +1,48 @@
 package pthread
 
-import "spthreads/internal/core"
+import "spthreads/internal/exec"
 
 // RWMutex is a writer-preferring readers-writer lock
 // (pthread_rwlock_t). The zero value is unlocked.
 type RWMutex struct {
-	rw core.RWMutex
+	l lazy[exec.RWMutex]
 }
+
+func (l *RWMutex) get(t *T) exec.RWMutex { return l.l.get(t.b.NewRWMutex) }
 
 // RLock acquires the lock for reading; multiple readers may hold it
 // concurrently.
-func (l *RWMutex) RLock(t *T) { t.m.RLock(t.th, &l.rw) }
+func (l *RWMutex) RLock(t *T) { l.get(t).RLock(t.th) }
 
 // RUnlock releases a read hold.
-func (l *RWMutex) RUnlock(t *T) { t.m.RUnlock(t.th, &l.rw) }
+func (l *RWMutex) RUnlock(t *T) { l.get(t).RUnlock(t.th) }
 
 // Lock acquires the lock exclusively for writing.
-func (l *RWMutex) Lock(t *T) { t.m.WLock(t.th, &l.rw) }
+func (l *RWMutex) Lock(t *T) { l.get(t).WLock(t.th) }
 
 // Unlock releases the write hold.
-func (l *RWMutex) Unlock(t *T) { t.m.WUnlock(t.th, &l.rw) }
+func (l *RWMutex) Unlock(t *T) { l.get(t).WUnlock(t.th) }
 
 // SpinLock is a busy-waiting lock (pthread_spinlock_t): contended
 // acquisition burns processor time instead of descheduling. The zero
 // value is unlocked.
 type SpinLock struct {
-	sl core.SpinLock
+	l lazy[exec.SpinLock]
 }
 
+func (l *SpinLock) get(t *T) exec.SpinLock { return l.l.get(t.b.NewSpinLock) }
+
 // Acquire takes the spin lock, busy-waiting while it is held.
-func (l *SpinLock) Acquire(t *T) { t.m.SpinAcquire(t.th, &l.sl) }
+func (l *SpinLock) Acquire(t *T) { l.get(t).Acquire(t.th) }
 
 // Release frees the spin lock.
-func (l *SpinLock) Release(t *T) { t.m.SpinRelease(t.th, &l.sl) }
+func (l *SpinLock) Release(t *T) { l.get(t).Release(t.th) }
 
 // Spins reports the number of busy-wait bursts so far (a contention
 // diagnostic).
-func (l *SpinLock) Spins() int64 { return l.sl.Spins() }
+func (l *SpinLock) Spins() int64 {
+	if impl, ok := l.l.peek(); ok {
+		return impl.Spins()
+	}
+	return 0
+}

@@ -1,89 +1,150 @@
 package pthread
 
 import (
-	"spthreads/internal/core"
+	"sync"
+
+	"spthreads/internal/exec"
 	"spthreads/internal/vtime"
 )
+
+// The public synchronization types are thin wrappers whose backend
+// implementation is created lazily on first use, from the backend of
+// the first thread that touches the object. This keeps the zero values
+// usable (POSIX static initializers) while letting each backend supply
+// its own blocking machinery; objects must not be shared across runs on
+// different backends. The lazy-init lock is host-side only — it charges
+// no virtual time, so sim runs are unchanged.
+
+// lazy resolves a backend sync object exactly once.
+type lazy[O any] struct {
+	mu   sync.Mutex
+	impl O
+	set  bool
+}
+
+func (l *lazy[O]) get(mk func() O) O {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.set {
+		l.impl = mk()
+		l.set = true
+	}
+	return l.impl
+}
+
+// peek returns the object if it has been created.
+func (l *lazy[O]) peek() (O, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.impl, l.set
+}
 
 // Mutex is a blocking lock with FIFO handoff (pthread_mutex_t). The zero
 // value is an unlocked mutex.
 type Mutex struct {
-	mu core.Mutex
+	l lazy[exec.Mutex]
 }
+
+func (m *Mutex) get(t *T) exec.Mutex { return m.l.get(t.b.NewMutex) }
 
 // Lock acquires the mutex, blocking the calling thread while it is held.
 // Blocked threads keep their scheduler placeholder, so under ADF they
 // resume at their serial position — the full-functionality property the
 // paper highlights over fork/join-only space-efficient systems.
-func (m *Mutex) Lock(t *T) { t.m.Lock(t.th, &m.mu) }
+func (m *Mutex) Lock(t *T) { m.get(t).Lock(t.th) }
 
 // TryLock acquires the mutex if free and reports whether it did.
-func (m *Mutex) TryLock(t *T) bool { return t.m.TryLock(t.th, &m.mu) }
+func (m *Mutex) TryLock(t *T) bool { return m.get(t).TryLock(t.th) }
 
 // Unlock releases the mutex, handing it to the longest waiter if any.
-func (m *Mutex) Unlock(t *T) { t.m.Unlock(t.th, &m.mu) }
+func (m *Mutex) Unlock(t *T) { m.get(t).Unlock(t.th) }
 
 // Cond is a condition variable (pthread_cond_t). The zero value is ready
 // to use.
 type Cond struct {
-	c core.Cond
+	l lazy[exec.Cond]
 }
+
+func (c *Cond) get(t *T) exec.Cond { return c.l.get(t.b.NewCond) }
 
 // Wait atomically releases mu and blocks until signalled, reacquiring mu
 // before returning. As with POSIX, callers must re-check their predicate
 // in a loop.
-func (c *Cond) Wait(t *T, mu *Mutex) { t.m.Wait(t.th, &c.c, &mu.mu) }
+func (c *Cond) Wait(t *T, mu *Mutex) { c.get(t).Wait(t.th, mu.get(t)) }
 
 // WaitTimeout is Wait with a virtual-time deadline
 // (pthread_cond_timedwait): it returns true if the deadline passed
 // before a signal arrived. The mutex is held on return either way, and
 // callers re-check their predicate as usual.
 func (c *Cond) WaitTimeout(t *T, mu *Mutex, d vtime.Duration) (timedOut bool) {
-	return t.m.WaitTimeout(t.th, &c.c, &mu.mu, d)
+	return c.get(t).WaitTimeout(t.th, mu.get(t), d)
 }
 
 // Signal wakes one waiting thread, if any.
-func (c *Cond) Signal(t *T) { t.m.Signal(t.th, &c.c) }
+func (c *Cond) Signal(t *T) { c.get(t).Signal(t.th) }
 
 // Broadcast wakes all waiting threads.
-func (c *Cond) Broadcast(t *T) { t.m.Broadcast(t.th, &c.c) }
+func (c *Cond) Broadcast(t *T) { c.get(t).Broadcast(t.th) }
 
 // Semaphore is a counting semaphore (sem_t).
 type Semaphore struct {
-	s *core.Semaphore
+	n int64
+	l lazy[exec.Semaphore]
 }
 
 // NewSemaphore returns a semaphore with initial count n.
 func NewSemaphore(n int64) *Semaphore {
-	return &Semaphore{s: core.NewSemaphore(n)}
+	if n < 0 {
+		panic("pthread: negative semaphore count")
+	}
+	return &Semaphore{n: n}
+}
+
+func (s *Semaphore) get(t *T) exec.Semaphore {
+	return s.l.get(func() exec.Semaphore { return t.b.NewSemaphore(s.n) })
 }
 
 // Wait decrements the semaphore, blocking while it is zero.
-func (s *Semaphore) Wait(t *T) { t.m.SemWait(t.th, s.s) }
+func (s *Semaphore) Wait(t *T) { s.get(t).Wait(t.th) }
 
 // Post increments the semaphore, waking the longest waiter if any.
-func (s *Semaphore) Post(t *T) { t.m.SemPost(t.th, s.s) }
+func (s *Semaphore) Post(t *T) { s.get(t).Post(t.th) }
 
 // Value returns the current count.
-func (s *Semaphore) Value() int64 { return s.s.SemValue() }
+func (s *Semaphore) Value() int64 {
+	if impl, ok := s.l.peek(); ok {
+		return impl.Value()
+	}
+	return s.n
+}
 
 // Barrier blocks callers until its full party has arrived
 // (pthread_barrier_t).
 type Barrier struct {
-	b *core.Barrier
+	n int
+	l lazy[exec.Barrier]
 }
 
 // NewBarrier returns a barrier for n parties.
-func NewBarrier(n int) *Barrier { return &Barrier{b: core.NewBarrier(n)} }
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("pthread: barrier party count must be positive")
+	}
+	return &Barrier{n: n}
+}
+
+func (b *Barrier) get(t *T) exec.Barrier {
+	return b.l.get(func() exec.Barrier { return t.b.NewBarrier(b.n) })
+}
 
 // Wait blocks until the n-th thread arrives. The releasing thread gets
 // true (PTHREAD_BARRIER_SERIAL_THREAD); the others get false.
-func (b *Barrier) Wait(t *T) bool { return t.m.BarrierWait(t.th, b.b) }
+func (b *Barrier) Wait(t *T) bool { return b.get(t).Wait(t.th) }
 
 // Once runs a function exactly once across threads (pthread_once).
 type Once struct {
-	o core.Once
+	l lazy[exec.Once]
 }
 
 // Do invokes fn on the first call for this Once.
-func (o *Once) Do(t *T, fn func()) { t.m.OnceDo(t.th, &o.o, fn) }
+func (o *Once) Do(t *T, fn func()) { o.l.get(t.b.NewOnce).Do(t.th, fn) }

@@ -1,7 +1,7 @@
 package pthread
 
 import (
-	"spthreads/internal/core"
+	"spthreads/internal/exec"
 	"spthreads/internal/vtime"
 )
 
@@ -9,23 +9,23 @@ import (
 // which the thread talks to the runtime (like pthread_self's implicit
 // context). A T is only valid on its own thread.
 type T struct {
-	th *core.Thread
-	m  *core.Machine
+	th exec.Thread
+	b  exec.Backend
 }
 
 // Thread is an opaque handle to a created thread, usable for Join.
 type Thread struct {
-	th *core.Thread
+	th exec.Thread
 }
 
 // ID returns the thread's unique, creation-ordered identifier.
-func (h *Thread) ID() int64 { return h.th.ID }
+func (h *Thread) ID() int64 { return h.th.ID() }
 
 // Self returns a handle to the calling thread.
 func (t *T) Self() *Thread { return &Thread{th: t.th} }
 
 // ID returns the calling thread's identifier.
-func (t *T) ID() int64 { return t.th.ID }
+func (t *T) ID() int64 { return t.th.ID() }
 
 // Create forks a new thread with default attributes running fn.
 func (t *T) Create(fn func(*T)) *Thread {
@@ -37,21 +37,21 @@ func (t *T) Create(fn func(*T)) *Thread {
 // the child immediately (the paper's fork semantics); under the FIFO and
 // LIFO policies the child is enqueued and the caller continues.
 func (t *T) CreateAttr(attr Attr, fn func(*T)) *Thread {
-	m := t.m
-	child := m.Fork(t.th, attr, func(th *core.Thread) {
-		fn(&T{th: th, m: m})
+	b := t.b
+	child := b.Fork(t.th, attr, func(th exec.Thread) {
+		fn(&T{th: th, b: b})
 	})
 	return &Thread{th: child}
 }
 
 // Join blocks until h exits. Each thread may be joined at most once and
 // detached threads cannot be joined.
-func (t *T) Join(h *Thread) error { return t.m.Join(t.th, h.th) }
+func (t *T) Join(h *Thread) error { return t.b.Join(t.th, h.th) }
 
 // MustJoin is Join, panicking on misuse (the panic aborts the run and is
 // reported as the run error).
 func (t *T) MustJoin(h *Thread) {
-	if err := t.m.Join(t.th, h.th); err != nil {
+	if err := t.b.Join(t.th, h.th); err != nil {
 		panic(err)
 	}
 }
@@ -85,49 +85,49 @@ func (t *T) ParAttr(attr Attr, fns ...func(*T)) {
 
 // Exit terminates the calling thread immediately, from any stack depth
 // (pthread_exit).
-func (t *T) Exit() { t.m.Exit(t.th) }
+func (t *T) Exit() { t.b.Exit(t.th) }
 
 // Yield returns the calling thread to the ready queue (sched_yield).
-func (t *T) Yield() { t.m.Yield(t.th) }
+func (t *T) Yield() { t.b.Yield(t.th) }
 
 // Charge accounts cycles of computation to the calling thread's virtual
 // processor.
-func (t *T) Charge(cycles int64) { t.m.Charge(t.th, cycles) }
+func (t *T) Charge(cycles int64) { t.b.Charge(t.th, cycles) }
 
 // ChargeMicros accounts computation expressed in virtual microseconds.
 func (t *T) ChargeMicros(us float64) {
-	t.m.Charge(t.th, int64(vtime.Micro(us)))
+	t.b.Charge(t.th, int64(vtime.Micro(us)))
 }
 
 // Malloc allocates n bytes of simulated heap, applying the scheduler's
 // memory-quota discipline (under ADF, a large allocation forks dummy
 // threads and quota exhaustion preempts the caller).
-func (t *T) Malloc(n int64) Alloc { return t.m.Malloc(t.th, n) }
+func (t *T) Malloc(n int64) Alloc { return t.b.Malloc(t.th, n) }
 
 // Free releases a simulated allocation.
-func (t *T) Free(a Alloc) { t.m.Free(t.th, a) }
+func (t *T) Free(a Alloc) { t.b.Free(t.th, a) }
 
 // Touch charges for accessing bytes [off, off+n) of a through the
 // current processor's TLB and page model.
-func (t *T) Touch(a Alloc, off, n int64) { t.m.Touch(t.th, a, off, n) }
+func (t *T) Touch(a Alloc, off, n int64) { t.b.Touch(t.th, a, off, n) }
 
 // TouchAll charges for accessing all of a.
-func (t *T) TouchAll(a Alloc) { t.m.Touch(t.th, a, 0, a.Size) }
+func (t *T) TouchAll(a Alloc) { t.b.Touch(t.th, a, 0, a.Size) }
 
 // Prefault marks a's pages resident without charging virtual time —
 // for input data prepared during untimed preprocessing.
-func (t *T) Prefault(a Alloc) { t.m.Prefault(t.th, a) }
+func (t *T) Prefault(a Alloc) { t.b.Prefault(t.th, a) }
 
 // Now returns the current virtual time on the calling thread's
 // processor.
-func (t *T) Now() vtime.Time { return t.m.Now(t.th) }
+func (t *T) Now() vtime.Time { return t.b.Now(t.th) }
 
 // Sleep parks the calling thread for at least d of virtual time (the
 // nanosleep equivalent); SleepMicros is the convenience form.
-func (t *T) Sleep(d vtime.Duration) { t.m.Sleep(t.th, d) }
+func (t *T) Sleep(d vtime.Duration) { t.b.Sleep(t.th, d) }
 
 // SleepMicros sleeps for the given number of virtual microseconds.
-func (t *T) SleepMicros(us float64) { t.m.Sleep(t.th, vtime.Micro(us)) }
+func (t *T) SleepMicros(us float64) { t.b.Sleep(t.th, vtime.Micro(us)) }
 
 // Key identifies a slot of thread-local storage (pthread_key_create).
 type Key struct{ _ byte }
@@ -136,17 +136,7 @@ type Key struct{ _ byte }
 func NewKey() *Key { return new(Key) }
 
 // SetSpecific binds v to key k in the calling thread.
-func (t *T) SetSpecific(k *Key, v any) {
-	if t.th.TLS == nil {
-		t.th.TLS = make(map[any]any)
-	}
-	t.th.TLS[k] = v
-}
+func (t *T) SetSpecific(k *Key, v any) { t.th.TLSSet(k, v) }
 
 // Specific returns the calling thread's value for key k (nil if unset).
-func (t *T) Specific(k *Key) any {
-	if t.th.TLS == nil {
-		return nil
-	}
-	return t.th.TLS[k]
-}
+func (t *T) Specific(k *Key) any { return t.th.TLSGet(k) }
