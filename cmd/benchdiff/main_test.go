@@ -279,3 +279,54 @@ func TestBackendInKey(t *testing.T) {
 		t.Errorf("backend-mismatched rows matched each other:\n%s", out.String())
 	}
 }
+
+// TestDispatchGatesOnVOps: wall ns per dispatch is host-dependent and
+// must never trip the gate, while the deterministic virtual-op count
+// does — the treap-vs-depa microbench row is gated on structure work,
+// not on whatever machine ran CI.
+func TestDispatchGatesOnVOps(t *testing.T) {
+	oldB := `{
+  "experiment": "dispatch",
+  "runs": [
+    {"policy": "adf", "procs": 1, "live_threads": 10000, "ns_per_dispatch": 50, "vops_per_dispatch": 2.0},
+    {"policy": "adf-treap", "procs": 1, "live_threads": 10000, "ns_per_dispatch": 80, "vops_per_dispatch": 18.0}
+  ]
+}`
+	// Wall time doubles (noisy host) but vops hold: must pass.
+	noisyWall := `{
+  "experiment": "dispatch",
+  "runs": [
+    {"policy": "adf", "procs": 1, "live_threads": 10000, "ns_per_dispatch": 100, "vops_per_dispatch": 2.0},
+    {"policy": "adf-treap", "procs": 1, "live_threads": 10000, "ns_per_dispatch": 160, "vops_per_dispatch": 18.0}
+  ]
+}`
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", oldB), writeJSON(t, "new.json", noisyWall)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (ns_per_dispatch is report-only)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ns_per_dispatch") {
+		t.Errorf("wall delta not reported:\n%s", out.String())
+	}
+
+	// Virtual ops regress (a structure change made dispatch do more
+	// work): must fail.
+	vopsRegressed := `{
+  "experiment": "dispatch",
+  "runs": [
+    {"policy": "adf", "procs": 1, "live_threads": 10000, "ns_per_dispatch": 50, "vops_per_dispatch": 9.0},
+    {"policy": "adf-treap", "procs": 1, "live_threads": 10000, "ns_per_dispatch": 80, "vops_per_dispatch": 18.0}
+  ]
+}`
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", oldB), writeJSON(t, "new.json", vopsRegressed)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (vops_per_dispatch gates)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "vops_per_dispatch") {
+		t.Errorf("vops regression not named:\n%s", out.String())
+	}
+}

@@ -9,7 +9,7 @@
 // reports W, D, W/D, S₁, and the attributed critical path; with -in it
 // skips the run and works from a previously recorded JSONL trace.
 //
-//	pttrace [-policy adf|fifo|lifo|ws|dfd|rr] [-procs 4] [-depth 5] [-width 100]
+//	pttrace [-policy adf|adf-treap|fifo|lifo|ws|dfd|rr] [-procs 4] [-depth 5] [-width 100]
 //	        [-out trace.json] [-events events.jsonl] [-space space.csv]
 //	        [-dot dag.dot] [-analyze] [-in events.jsonl]
 //
@@ -35,7 +35,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pttrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	policy := fs.String("policy", "adf", "scheduler: fifo, lifo, adf, ws, dfd, rr")
+	policy := fs.String("policy", "adf", "scheduler: fifo, lifo, adf, adf-treap, ws, dfd, rr")
 	procs := fs.Int("procs", 4, "virtual processors")
 	depth := fs.Int("depth", 5, "fork-tree depth (2^depth leaves)")
 	width := fs.Int("width", 100, "gantt chart width in buckets")

@@ -19,8 +19,13 @@ import (
 	"strings"
 	"testing"
 
+	"spthreads/internal/barneshut"
+	"spthreads/internal/dtree"
 	"spthreads/internal/fft"
+	"spthreads/internal/fmm"
 	"spthreads/internal/matmul"
+	"spthreads/internal/spmv"
+	"spthreads/internal/volrend"
 	"spthreads/pthread"
 )
 
@@ -28,46 +33,82 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/determini
 
 const goldenPath = "testdata/determinism.golden"
 
-// determinismCases is a small fig5/fig8-style configuration: the fine
-// matrix multiply (Figure 5/7/8's workhorse) and the 64-thread FFT
-// (Figure 10's load-balance case), each under every policy the paper
-// studies plus the two baselines.
-func determinismCases() []struct {
+// detCase is one golden configuration.
+type detCase struct {
 	name string
 	cfg  pthread.Config
 	prog func(*pthread.T)
-} {
+}
+
+// determinismCases is a small fig5/fig8-style configuration: the fine
+// matrix multiply (Figure 5/7/8's workhorse) and the 64-thread FFT
+// (Figure 10's load-balance case), each under every policy the paper
+// studies plus the two baselines; then the remaining paper benchmarks
+// (Barnes-Hut, decision tree, SpMV, FMM, volrend) at small sizes under
+// the default ADF policy, closing the workload matrix.
+func determinismCases() []detCase {
 	mm := matmul.Config{N: 64, Leaf: 16}
 	ff := fft.Config{LogN: 13, Threads: 64}
 	policies := []pthread.Policy{
 		pthread.PolicyFIFO, pthread.PolicyLIFO, pthread.PolicyADF,
 		pthread.PolicyWS, pthread.PolicyDFD,
 	}
-	var cases []struct {
-		name string
-		cfg  pthread.Config
-		prog func(*pthread.T)
-	}
+	var cases []detCase
 	for _, pol := range policies {
-		cases = append(cases, struct {
-			name string
-			cfg  pthread.Config
-			prog func(*pthread.T)
-		}{
+		cases = append(cases, detCase{
 			name: "matmul64/" + string(pol) + "/p4",
 			cfg:  pthread.Config{Procs: 4, Policy: pol, DefaultStack: pthread.SmallStackSize},
 			prog: matmul.Fine(mm),
 		})
-		cases = append(cases, struct {
-			name string
-			cfg  pthread.Config
-			prog func(*pthread.T)
-		}{
+		cases = append(cases, detCase{
 			name: "fft13/" + string(pol) + "/p3",
 			cfg:  pthread.Config{Procs: 3, Policy: pol, DefaultStack: pthread.SmallStackSize},
 			prog: fft.Program(ff),
 		})
 	}
+
+	adf := pthread.Config{Procs: 4, Policy: pthread.PolicyADF, DefaultStack: pthread.SmallStackSize}
+	cases = append(cases,
+		detCase{
+			name: "bhut256/adf/p4",
+			cfg:  adf,
+			prog: func(t *pthread.T) {
+				barneshut.FineRun(t, barneshut.Config{N: 256, Steps: 1, Seed: 7, InsertChunk: 32})
+			},
+		},
+		detCase{
+			name: "dtree4000/adf/p4",
+			cfg:  adf,
+			prog: func(t *pthread.T) {
+				d := dtree.Generate(t, dtree.GenConfig{Instances: 4000, Attrs: 4, Seed: 3})
+				dtree.Build(t, d, 250)
+			},
+		},
+		detCase{
+			name: "spmv2000/adf/p4",
+			cfg:  adf,
+			prog: spmv.Fine(spmv.Config{
+				Gen:         spmv.GenConfig{Nodes: 2000, TargetNNZ: 10000, Seed: 3},
+				Iterations:  2,
+				FineThreads: 32,
+			}),
+		},
+		detCase{
+			name: "fmm800/adf/p4",
+			cfg:  adf,
+			prog: fmm.Fine(fmm.Config{N: 800, Levels: 3, Terms: 6}),
+		},
+		detCase{
+			name: "volrend32/adf/p4",
+			cfg:  adf,
+			prog: volrend.Fine(volrend.Config{
+				Gen:            volrend.GenConfig{W: 32, Seed: 5},
+				ImageSize:      50,
+				Frames:         1,
+				TilesPerThread: 2,
+			}),
+		},
+	)
 	return cases
 }
 
@@ -106,6 +147,17 @@ func TestDeterminismGolden(t *testing.T) {
 		second := runCase(t, instrumented(c.cfg), c.prog)
 		if first != second {
 			t.Errorf("%s: instrumented run diverges from plain run:\n  plain:        %s\n  instrumented: %s", c.name, first, second)
+		}
+		if c.cfg.Policy == pthread.PolicyADF {
+			// The DePa-labeled store (the "adf" default) and the retained
+			// treap store must schedule identically: same dispatch order,
+			// hence bit-identical virtual results. Any divergence means the
+			// order-maintenance structures disagree about leftmost-ready.
+			treapCfg := c.cfg
+			treapCfg.Policy = pthread.PolicyADFTreap
+			if treap := runCase(t, treapCfg, c.prog); treap != first {
+				t.Errorf("%s: adf-treap diverges from adf:\n  adf:       %s\n  adf-treap: %s", c.name, first, treap)
+			}
 		}
 		lines = append(lines, c.name+" "+first)
 	}

@@ -26,6 +26,11 @@ type Alloc struct {
 func (m *Machine) Fork(t *Thread, attr Attr, fn func(*Thread)) *Thread {
 	m.checkRunning(t, "Fork")
 	child := m.newThread(attr, fn)
+	// DePa order maintenance: label the child from the parent's own
+	// fork path before the policy sees either thread. O(1), no shared
+	// state — on the native backend the same assignment happens outside
+	// the scheduler lock.
+	child.Order = t.Order.Fork()
 	if tr := m.cfg.Tracer; tr != nil {
 		tr.RecordArg(t.proc.clock, t.proc.id, child.ID, trace.KindCreate, t.ID)
 	}

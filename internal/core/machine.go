@@ -376,6 +376,7 @@ func (m *Machine) Execute(main func(*Thread)) (Stats, error) {
 
 func (m *Machine) run(main func(*Thread)) (Stats, error) {
 	root := m.newThread(Attr{Name: "root"}, main)
+	root.Order = RootDepaLabel()
 	// The root's stack predates the run; count its footprint silently.
 	root.stackAddr, _, _ = m.mem.AllocStack(root.stackSize)
 	if tr := m.cfg.Tracer; tr != nil {

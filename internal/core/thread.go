@@ -62,6 +62,11 @@ type Thread struct {
 	// SchedState is owned by the scheduling policy (e.g. the thread's
 	// placeholder entry in the ADF ordered list).
 	SchedState any
+	// Order is the thread's DePa fork-path label, assigned at fork time
+	// on the forking thread's own context (no lock, no shared
+	// structure). It evolves as the thread forks — each fork appends a
+	// continuation bit — so policies snapshot it at insert time.
+	Order DepaLabel
 
 	m    *Machine
 	fn   func(*Thread)

@@ -14,7 +14,11 @@ import (
 
 	"spthreads/internal/barneshut"
 	"spthreads/internal/dtree"
+	"spthreads/internal/fft"
+	"spthreads/internal/fmm"
 	"spthreads/internal/matmul"
+	"spthreads/internal/spmv"
+	"spthreads/internal/volrend"
 	"spthreads/pthread"
 )
 
@@ -28,8 +32,9 @@ func init() {
 	})
 }
 
-// backendBenches are the swept programs: the three parity benchmarks,
-// fine-grained variants, at the scale's problem sizes.
+// backendBenches are the swept programs: all seven paper benchmarks,
+// fine-grained variants, at the scale's problem sizes — the same
+// workload matrix the sim-vs-native parity tests checksum.
 func backendBenches(paper bool) []struct {
 	name string
 	prog func(*pthread.T)
@@ -41,6 +46,10 @@ func backendBenches(paper bool) []struct {
 		{"matmul", matmul.Fine(matmulCfg(paper))},
 		{"bhut", barneshut.Fine(barneshutCfg(paper))},
 		{"dtree", dtree.Fine(dtreeCfg(paper))},
+		{"fft", fft.Program(fftCfg(paper))},
+		{"spmv", spmv.Fine(spmvCfg(paper))},
+		{"fmm", fmm.Fine(fmmCfg(paper))},
+		{"volrend", volrend.Fine(volrendCfg(paper))},
 	}
 }
 

@@ -1,13 +1,16 @@
 package harness
 
-// The dispatch experiment measures the scheduler's host-side dispatch
-// cost — wall-clock nanoseconds per Next/OnReady cycle — as a function
-// of live thread count. It exists to track the tentpole claim of the
-// indexed ADF structure: the seed's linked-list scan made every ADF
-// dispatch O(live threads), which dominated host time on benchmarks
-// that hold tens of thousands of live placeholders (the very workloads
-// the paper's scheduler is for). The adf-ref row keeps the transcribed
-// list implementation measurable so the asymptotic gap stays visible.
+// The dispatch experiment measures the scheduler's dispatch cost — wall
+// nanoseconds and deterministic virtual structure operations per
+// Next/OnReady cycle — as a function of live thread count. It tracks
+// the order-maintenance progression in the ADF dispatch path: the
+// seed's linked-list scan made every dispatch O(live threads)
+// ("adf-ref"), the order-statistic treap brought it to O(log n) walks
+// under the scheduler lock ("adf-treap"), and the DePa fork-path labels
+// reduce the store to a heap over just the ready set ("adf", the
+// default) — O(log ready), with left-of decided by local label
+// compares. Wall time is report-only (host-dependent); the virtual-op
+// counts are deterministic and gated in benchdiff.
 
 import (
 	"fmt"
@@ -24,16 +27,18 @@ func init() {
 	register(Experiment{
 		ID:    "dispatch",
 		Title: "Scheduler dispatch cost vs live threads (host time)",
-		What:  "wall-clock ns per dispatch for each policy, 10^2..10^5 live threads",
+		What:  "ns and virtual ops per dispatch for each policy, 10^2..10^5 live threads",
 		Run:   runDispatch,
 		JSON:  jsonDispatch,
 	})
 }
 
 // DispatchPolicies lists the policy names the dispatch scenario sweeps;
-// "adf-ref" is the retained naive linked-list ADF used as the baseline.
+// "adf-treap" is the previous production store and "adf-ref" the
+// retained naive linked list, both kept measurable so the O(n) →
+// O(log n) → O(log ready) progression stays visible.
 func DispatchPolicies() []string {
-	return []string{"fifo", "lifo", "ws", "dfd", "adf", "adf-ref"}
+	return []string{"fifo", "lifo", "ws", "dfd", "adf", "adf-treap", "adf-ref"}
 }
 
 // NewDispatchPolicy builds a fresh policy instance for the dispatch
@@ -114,17 +119,28 @@ func runDispatch(w io.Writer, opt Options) error {
 	for _, name := range DispatchPolicies() {
 		fmt.Fprint(tw, name)
 		for _, n := range sizes {
-			fmt.Fprintf(tw, "\t%.0f ns", dispatchCost(name, n))
+			ns, vops := dispatchCost(name, n)
+			if vops > 0 {
+				fmt.Fprintf(tw, "\t%.0f ns (%.1f vops)", ns, vops)
+			} else {
+				fmt.Fprintf(tw, "\t%.0f ns", ns)
+			}
 		}
 		fmt.Fprint(tw, "\t\n")
 	}
 	return tw.Flush()
 }
 
-// dispatchCost times the steady-state dispatch cycle at n live threads.
-// The step count shrinks with n so the naive O(n) baseline stays
-// affordable at the largest sizes.
-func dispatchCost(name string, n int) float64 {
+// vopsCounter is satisfied by policies that count virtual structure
+// operations (the ADF family); see sched.(*adfPolicy).VOps.
+type vopsCounter interface{ VOps() int64 }
+
+// dispatchCost times the steady-state dispatch cycle at n live threads,
+// returning wall ns per dispatch and — for policies that count them —
+// deterministic virtual structure operations per dispatch. The step
+// count shrinks with n so the naive O(n) baseline stays affordable at
+// the largest sizes.
+func dispatchCost(name string, n int) (nsPer, vopsPer float64) {
 	p := NewDispatchPolicy(name)
 	cur := DispatchScenario(p, n)
 	steps := 20_000_000 / n
@@ -132,7 +148,16 @@ func dispatchCost(name string, n int) float64 {
 		steps = 2000
 	}
 	cur = DispatchSteps(p, cur, steps/4) // warm-up
+	vc, hasVOps := p.(vopsCounter)
+	var v0 int64
+	if hasVOps {
+		v0 = vc.VOps()
+	}
 	start := time.Now()
 	DispatchSteps(p, cur, steps)
-	return float64(time.Since(start).Nanoseconds()) / float64(steps)
+	nsPer = float64(time.Since(start).Nanoseconds()) / float64(steps)
+	if hasVOps {
+		vopsPer = float64(vc.VOps()-v0) / float64(steps)
+	}
+	return nsPer, vopsPer
 }

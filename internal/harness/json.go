@@ -61,9 +61,14 @@ type BenchRun struct {
 	// for experiments that profile space.
 	Space []spaceprof.Sample `json:"space,omitempty"`
 
-	// Host-side measurements (the dispatch experiment).
-	LiveThreads   int     `json:"live_threads,omitempty"`
-	NSPerDispatch float64 `json:"ns_per_dispatch,omitempty"`
+	// Host-side measurements (the dispatch experiment). Wall ns per
+	// dispatch is host-dependent and report-only; vops per dispatch is
+	// the deterministic virtual structure-operation count the ADF
+	// family maintains (heap sifts / treap walks / list scans) and is
+	// the gated metric.
+	LiveThreads     int     `json:"live_threads,omitempty"`
+	NSPerDispatch   float64 `json:"ns_per_dispatch,omitempty"`
+	VOpsPerDispatch float64 `json:"vops_per_dispatch,omitempty"`
 
 	// Analysis is the trace analyzer's report (W/D/S1/critical path),
 	// present for experiments that reconstruct the run DAG.
@@ -146,11 +151,13 @@ func jsonDispatch(opt Options) (*BenchResult, error) {
 		Title: "Scheduler dispatch cost vs live threads (host time)"}
 	for _, name := range DispatchPolicies() {
 		for _, n := range sizes {
+			ns, vops := dispatchCost(name, n)
 			res.Runs = append(res.Runs, BenchRun{
-				Policy:        name,
-				Procs:         1,
-				LiveThreads:   n,
-				NSPerDispatch: dispatchCost(name, n),
+				Policy:          name,
+				Procs:           1,
+				LiveThreads:     n,
+				NSPerDispatch:   ns,
+				VOpsPerDispatch: vops,
 			})
 		}
 	}

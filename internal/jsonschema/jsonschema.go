@@ -1,9 +1,10 @@
 // Package jsonschema validates JSON documents against the small subset
 // of JSON Schema the repo's bench-output contract needs: the keywords
 // type (object, array, string, number, integer, boolean, null),
-// properties, required, items, and minItems. It exists so CI can check
-// ptbench's machine-readable output against a checked-in schema without
-// pulling in an external validator dependency.
+// properties, required, items, minItems, enum, and minimum. It exists
+// so CI can check ptbench's machine-readable output against a
+// checked-in schema without pulling in an external validator
+// dependency.
 package jsonschema
 
 import (
@@ -19,6 +20,12 @@ type Schema struct {
 	Required   []string           `json:"required,omitempty"`
 	Items      *Schema            `json:"items,omitempty"`
 	MinItems   *int               `json:"minItems,omitempty"`
+	// Enum restricts the instance to one of the listed values (compared
+	// after JSON decoding, so numbers are float64). The bench schema uses
+	// it to whitelist scheduler policy ids and backend names.
+	Enum []any `json:"enum,omitempty"`
+	// Minimum is the inclusive lower bound for numeric instances.
+	Minimum *float64 `json:"minimum,omitempty"`
 }
 
 // Parse decodes a schema document.
@@ -52,6 +59,24 @@ func (s *Schema) validate(doc any, path string) error {
 	if s.Type != "" {
 		if err := checkType(s.Type, doc, path); err != nil {
 			return err
+		}
+	}
+	if len(s.Enum) > 0 {
+		ok := false
+		for _, allowed := range s.Enum {
+			if enumEqual(doc, allowed) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%s: value %s is not one of the allowed values %s",
+				path, enumString(doc), enumList(s.Enum))
+		}
+	}
+	if s.Minimum != nil {
+		if f, isNum := doc.(float64); isNum && f < *s.Minimum {
+			return fmt.Errorf("%s: is %v, schema requires at least %v", path, f, *s.Minimum)
 		}
 	}
 	if obj, ok := doc.(map[string]any); ok {
@@ -108,6 +133,46 @@ func checkType(want string, doc any, path string) error {
 		return fmt.Errorf("%s: is %s, schema requires %s", path, typeName(doc), want)
 	}
 	return nil
+}
+
+// enumEqual compares two decoded JSON scalars. Enum members in bench
+// schemas are scalars (strings, numbers, booleans, null); composite
+// members would need deep equality and are rejected as unequal.
+func enumEqual(a, b any) bool {
+	switch bv := b.(type) {
+	case string:
+		av, ok := a.(string)
+		return ok && av == bv
+	case float64:
+		av, ok := a.(float64)
+		return ok && av == bv
+	case bool:
+		av, ok := a.(bool)
+		return ok && av == bv
+	case nil:
+		return a == nil
+	default:
+		return false
+	}
+}
+
+func enumString(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return string(b)
+}
+
+func enumList(vals []any) string {
+	out := ""
+	for i, v := range vals {
+		if i > 0 {
+			out += ", "
+		}
+		out += enumString(v)
+	}
+	return "[" + out + "]"
 }
 
 func typeName(doc any) string {

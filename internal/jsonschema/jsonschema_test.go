@@ -1,6 +1,8 @@
 package jsonschema_test
 
 import (
+	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -85,5 +87,96 @@ func TestErrorPathsPointAtOffendingNode(t *testing.T) {
 	err := sch.ValidateJSON([]byte(`{"experiment":"a","runs":[{"policy":"x"},{"policy":7}]}`))
 	if err == nil || !strings.Contains(err.Error(), "$.runs[1].policy") {
 		t.Errorf("error %q does not locate $.runs[1].policy", err)
+	}
+}
+
+func TestEnum(t *testing.T) {
+	sch := mustParse(t, `{"type":"string","enum":["sim","native"]}`)
+	if err := sch.ValidateJSON([]byte(`"sim"`)); err != nil {
+		t.Errorf("allowed enum value rejected: %v", err)
+	}
+	err := sch.ValidateJSON([]byte(`"cloud"`))
+	if err == nil {
+		t.Fatal("value outside enum accepted")
+	}
+	for _, want := range []string{`"cloud"`, `"sim"`, `"native"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("enum error %q does not mention %s", err, want)
+		}
+	}
+
+	// Numeric and mixed-type enums: members are compared by value after
+	// JSON decoding, and a type mismatch is simply "not a member".
+	num := mustParse(t, `{"enum":[1, 2, null]}`)
+	for _, doc := range []string{`1`, `2`, `null`} {
+		if err := num.ValidateJSON([]byte(doc)); err != nil {
+			t.Errorf("enum member %s rejected: %v", doc, err)
+		}
+	}
+	for _, doc := range []string{`3`, `"1"`, `true`} {
+		if err := num.ValidateJSON([]byte(doc)); err == nil {
+			t.Errorf("non-member %s accepted", doc)
+		}
+	}
+}
+
+func TestMinimum(t *testing.T) {
+	sch := mustParse(t, `{"type":"integer","minimum":1}`)
+	if err := sch.ValidateJSON([]byte(`1`)); err != nil {
+		t.Errorf("value at minimum rejected: %v", err)
+	}
+	if err := sch.ValidateJSON([]byte(`0`)); err == nil {
+		t.Error("value below minimum accepted")
+	} else if !strings.Contains(err.Error(), "at least 1") {
+		t.Errorf("minimum error %q does not state the bound", err)
+	}
+	// minimum constrains only numeric instances; a non-number already
+	// fails the type check, and without a type it is ignored.
+	untyped := mustParse(t, `{"minimum":5}`)
+	if err := untyped.ValidateJSON([]byte(`"low"`)); err != nil {
+		t.Errorf("minimum applied to non-number: %v", err)
+	}
+}
+
+// TestBenchSchemaPolicyEnum pins the checked-in bench-output contract:
+// every scheduler policy id the dispatch sweep emits — including the
+// order-maintenance variants "adf-treap" and "adf-ref" — must validate,
+// and an unknown policy id must be rejected by name.
+func TestBenchSchemaPolicyEnum(t *testing.T) {
+	raw, err := os.ReadFile("../../testdata/bench.schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := jsonschema.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := func(policy string) []byte {
+		return []byte(fmt.Sprintf(`{
+			"experiment": "dispatch", "title": "t", "scale": "small",
+			"runs": [{"policy": %q, "procs": 1, "live_threads": 10000,
+			          "ns_per_dispatch": 70.5, "vops_per_dispatch": 2.0}]
+		}`, policy))
+	}
+	for _, pol := range []string{"fifo", "lifo", "adf", "adf-treap", "adf-ref", "ws", "dfd", "rr"} {
+		if err := sch.ValidateJSON(doc(pol)); err != nil {
+			t.Errorf("policy %q rejected by bench schema: %v", pol, err)
+		}
+	}
+	err = sch.ValidateJSON(doc("adf-bogus"))
+	if err == nil {
+		t.Fatal("unknown policy id accepted by bench schema")
+	}
+	if !strings.Contains(err.Error(), "adf-bogus") || !strings.Contains(err.Error(), "$.runs[0].policy") {
+		t.Errorf("policy enum error %q does not name the value and path", err)
+	}
+
+	// The dispatch vops metric is a count: negative values are invalid.
+	bad := []byte(`{
+		"experiment": "dispatch", "title": "t", "scale": "small",
+		"runs": [{"policy": "adf", "vops_per_dispatch": -1}]
+	}`)
+	if err := sch.ValidateJSON(bad); err == nil {
+		t.Error("negative vops_per_dispatch accepted")
 	}
 }

@@ -27,6 +27,11 @@ func (b *Backend) Fork(pt exec.Thread, attr core.Attr, fn func(exec.Thread)) exe
 func (b *Backend) fork(t *thread, attr core.Attr, fn func(exec.Thread), dummy bool) *thread {
 	child := b.newThread(attr, fn)
 	child.isDummy = dummy
+	// DePa order maintenance: the label assignment is the whole point of
+	// the scheme — it happens here on the parent's goroutine, before the
+	// scheduler lock, with zero shared state. The policy reads the label
+	// under b.mu, which orders the write ahead of every use.
+	child.tok.Order = t.tok.Order.Fork()
 	b.chargeStack(child)
 	b.mu.Lock()
 	b.admit(child)

@@ -179,6 +179,7 @@ func (b *Backend) Execute(main func(exec.Thread)) (core.Stats, error) {
 	b.start = time.Now()
 
 	root := b.newThread(core.Attr{Name: "main"}, main)
+	root.tok.Order = core.RootDepaLabel()
 	b.chargeStack(root)
 	b.mu.Lock()
 	b.admit(root)

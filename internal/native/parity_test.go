@@ -13,8 +13,12 @@ import (
 	"spthreads/internal/analyze"
 	"spthreads/internal/barneshut"
 	"spthreads/internal/dtree"
+	"spthreads/internal/fft"
+	"spthreads/internal/fmm"
 	"spthreads/internal/matmul"
+	"spthreads/internal/spmv"
 	"spthreads/internal/trace"
+	"spthreads/internal/volrend"
 	"spthreads/pthread"
 )
 
@@ -102,6 +106,59 @@ func dtreeChecksum(t *pthread.T) float64 {
 	return float64(root.Size())*1e6 + sum
 }
 
+// fftChecksum transforms a random signal with a forking recursion
+// (n > serial base, 16-thread budget) and folds the spectrum. Each
+// recursive half writes a disjoint destination range and the combine
+// runs after both halves join, so the result is schedule-independent.
+func fftChecksum(t *pthread.T) float64 {
+	const n, threads = 1 << 13, 16
+	plan := fft.NewPlan(t, n)
+	src := fft.NewVector(t, n)
+	dst := fft.NewVector(t, n)
+	src.FillRandom(t, 11)
+	fft.Transform(t, plan, src, dst, threads)
+	var sum float64
+	for i, c := range dst.Data {
+		w := float64(i%251 + 1)
+		sum += w * (real(c) + 2*imag(c))
+	}
+	dst.Free(t)
+	src.Free(t)
+	plan.Free(t)
+	return sum
+}
+
+func spmvChecksum(t *pthread.T) float64 {
+	return spmv.FineChecksum(t, spmv.Config{
+		Gen:         spmv.GenConfig{Nodes: 4000, TargetNNZ: 20000, Seed: 3},
+		Iterations:  4,
+		FineThreads: 32,
+	})
+}
+
+// fmmChecksum runs the four FMM phases in parallel. NeighborChunk is
+// set above the 2D interaction-list maximum (27) so every cell's local
+// expansion is accumulated by a single thread in deterministic order —
+// the one source of schedule-dependent floating-point in the benchmark.
+func fmmChecksum(t *pthread.T) float64 {
+	s := fmm.NewSystem(t, fmm.Config{N: 1200, Levels: 3, Terms: 6, NeighborChunk: 64})
+	s.Run(t, true)
+	var sum float64
+	for i, p := range s.Pot {
+		sum += p * float64(i%113+1)
+	}
+	s.Free(t)
+	return sum
+}
+
+func volrendChecksum(t *pthread.T) float64 {
+	return volrend.RenderChecksum(t, volrend.Config{
+		Gen:            volrend.GenConfig{W: 32, Seed: 5},
+		ImageSize:      96,
+		TilesPerThread: 2,
+	}, "fine")
+}
+
 func TestMatmulParity(t *testing.T) {
 	for _, policy := range []pthread.Policy{pthread.PolicyADF, pthread.PolicyWS} {
 		sim, native := runBoth(t, 4, policy, matmulChecksum)
@@ -122,6 +179,33 @@ func TestDtreeParity(t *testing.T) {
 	sim, native := runBoth(t, 4, pthread.PolicyADF, dtreeChecksum)
 	if sim != native || math.IsNaN(sim) {
 		t.Errorf("sim checksum %v, native checksum %v", sim, native)
+	}
+}
+
+// TestWorkloadMatrixParity closes the workload matrix: with the three
+// dedicated tests above, every one of the paper's seven benchmarks has
+// a sim-vs-native checksum comparison. The default DePa-labeled ADF
+// store and its treap differential oracle are both exercised.
+func TestWorkloadMatrixParity(t *testing.T) {
+	benches := []struct {
+		name string
+		fn   func(*pthread.T) float64
+	}{
+		{"fft", fftChecksum},
+		{"spmv", spmvChecksum},
+		{"fmm", fmmChecksum},
+		{"volrend", volrendChecksum},
+	}
+	for _, b := range benches {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			for _, policy := range []pthread.Policy{pthread.PolicyADF, pthread.PolicyADFTreap} {
+				sim, native := runBoth(t, 4, policy, b.fn)
+				if sim != native || math.IsNaN(sim) || sim == 0 {
+					t.Errorf("%s: sim checksum %v, native checksum %v", policy, sim, native)
+				}
+			}
+		})
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 type thread struct {
 	b       *Backend
 	id      int64
-	tok     *core.Thread // policy token (ID/Priority/SchedState only)
+	tok     *core.Thread // policy token (ID/Priority/SchedState/Order only)
 	attr    core.Attr
 	fn      func(exec.Thread)
 	isDummy bool

@@ -13,29 +13,34 @@ import (
 	"spthreads/internal/core"
 )
 
-// dispatchBatch pulls up to n threads in one batch from the indexed side
-// and one at a time from the reference side, and requires the identical
-// sequence.
+// dispatchBatch pulls up to n threads in one batch from each indexed
+// side and one at a time from the reference side, and requires the
+// identical sequence everywhere.
 func (d *diffADF) dispatchBatch(n int) {
-	a := d.idx.NextBatch(0, n)
-	var b []*core.Thread
-	for len(b) < n {
-		t := d.ref.Next(0)
+	var ref []*core.Thread
+	for len(ref) < n {
+		t := d.sides[refSide].Next(0)
 		if t == nil {
 			break
 		}
-		b = append(b, t)
+		ref = append(ref, t)
 	}
-	if len(a) != len(b) {
-		d.t.Fatalf("NextBatch(%d) returned %d threads, reference Next loop %d", n, len(a), len(b))
-	}
-	for i := range a {
-		if a[i].ID != b[i].ID {
-			d.t.Fatalf("NextBatch(%d)[%d] = thread %d, reference dispatched %d (leftmost-order violation)",
-				n, i, a[i].ID, b[i].ID)
+	for i := 0; i < refSide; i++ {
+		got := d.sides[i].NextBatch(0, n)
+		if len(got) != len(ref) {
+			d.t.Fatalf("%s NextBatch(%d) returned %d threads, reference Next loop %d",
+				d.names[i], n, len(got), len(ref))
 		}
-		d.removeID(&d.ready, a[i].ID)
-		d.running = append(d.running, a[i].ID)
+		for k := range got {
+			if got[k].ID != ref[k].ID {
+				d.t.Fatalf("%s NextBatch(%d)[%d] = thread %d, reference dispatched %d (leftmost-order violation)",
+					d.names[i], n, k, got[k].ID, ref[k].ID)
+			}
+		}
+	}
+	for _, t := range ref {
+		d.removeID(&d.ready, t.ID)
+		d.running = append(d.running, t.ID)
 	}
 	d.check("batch-dispatch")
 }

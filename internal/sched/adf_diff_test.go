@@ -1,14 +1,20 @@
 package sched
 
-// Differential oracle for the ADF dispatch structure: the indexed
-// order-statistic treap and the seed's naive linked list are driven
-// through identical random fork/dispatch/block/wake/exit/priority
-// sequences and must agree on every observable — the thread returned
-// by Next(), per-level ready counts, the global ready count, and
-// Live() — at every step. The linked list is trivially correct (it is
-// the paper's data structure, transcribed); any treap bug that changes
-// a dispatch decision surfaces here long before it would corrupt a
-// benchmark figure.
+// Differential oracle for the ADF dispatch structure: the DePa-labeled
+// heap (the production store), the order-statistic treap, and the
+// seed's naive linked list are driven through identical random
+// fork/dispatch/block/wake/exit/priority sequences and must agree on
+// every observable — the thread returned by Next(), per-level ready
+// counts, the global ready count, and Live() — at every step. The
+// linked list is trivially correct (it is the paper's data structure,
+// transcribed); any label or treap bug that changes a dispatch decision
+// surfaces here long before it would corrupt a benchmark figure.
+//
+// On top of the per-step observables, every check also walks the
+// reference list and asserts the DePa labels are strictly increasing
+// along it and the treap's in-order traversal reproduces it — so the
+// three stores agree not just on dispatch answers but on the entire
+// maintained serial order.
 
 import (
 	"math/rand"
@@ -17,15 +23,16 @@ import (
 	"spthreads/internal/core"
 )
 
-// diffADF holds one policy pair under test. Both policies share the
+// diffADF drives one policy per store under test. All sides share the
 // adfPolicy shell, so the differential signal comes entirely from the
 // adfLevel stores; threads are mirrored per side because each store
-// owns Thread.SchedState.
+// owns Thread.SchedState (and the DePa side additionally owns
+// Thread.Order).
 type diffADF struct {
-	t        *testing.T
-	idx, ref *adfPolicy
-	idxT     map[int64]*core.Thread
-	refT     map[int64]*core.Thread
+	t     *testing.T
+	names []string
+	sides []*adfPolicy
+	mirr  []map[int64]*core.Thread // per-side mirrored threads
 
 	nextID   int64
 	running  []int64
@@ -35,99 +42,110 @@ type diffADF struct {
 }
 
 func newDiffADF(t *testing.T, maxProcs int) *diffADF {
-	return &diffADF{
-		t:        t,
-		idx:      newADF(DefaultMemQuota, false),
-		ref:      NewADFReference(DefaultMemQuota, false).(*adfPolicy),
-		idxT:     make(map[int64]*core.Thread),
-		refT:     make(map[int64]*core.Thread),
-		maxProcs: maxProcs,
+	d := &diffADF{t: t, maxProcs: maxProcs}
+	add := func(name string, p *adfPolicy) {
+		d.names = append(d.names, name)
+		d.sides = append(d.sides, p)
+		d.mirr = append(d.mirr, make(map[int64]*core.Thread))
 	}
+	add("depa", newADF(DefaultMemQuota, false))
+	add("treap", newADFTreap(DefaultMemQuota, false))
+	add("ref", NewADFReference(DefaultMemQuota, false).(*adfPolicy))
+	return d
 }
 
-func (d *diffADF) mirror(id int64, pri int) (*core.Thread, *core.Thread) {
-	a := &core.Thread{ID: id, Priority: pri}
-	b := &core.Thread{ID: id, Priority: pri}
-	d.idxT[id] = a
-	d.refT[id] = b
-	return a, b
+// refSide indexes the linked-list oracle inside d.sides.
+const refSide = 2
+
+func (d *diffADF) mirror(id int64, pri int) []*core.Thread {
+	ts := make([]*core.Thread, len(d.sides))
+	for i := range d.sides {
+		ts[i] = &core.Thread{ID: id, Priority: pri}
+		d.mirr[i][id] = ts[i]
+	}
+	return ts
 }
 
 // fork creates a child of the given running parent (or the root when
-// parentID < 0) and applies the machine's fork protocol to both sides.
+// parentID < 0) and applies the machine's fork protocol to all sides.
 func (d *diffADF) fork(parentID int64, pri int) {
 	d.nextID++
 	id := d.nextID
-	a, b := d.mirror(id, pri)
+	ts := d.mirror(id, pri)
 	if parentID < 0 {
-		ra := d.idx.OnCreate(nil, a)
-		rb := d.ref.OnCreate(nil, b)
-		if ra || rb {
-			d.t.Fatalf("root OnCreate: runChild idx=%v ref=%v, want false/false", ra, rb)
+		for i, p := range d.sides {
+			if p.OnCreate(nil, ts[i]) {
+				d.t.Fatalf("%s: root OnCreate ran child, want false", d.names[i])
+			}
 		}
 		d.ready = append(d.ready, id)
 		d.check("root create")
 		return
 	}
-	pa, pb := d.idxT[parentID], d.refT[parentID]
-	ra := d.idx.OnCreate(pa, a)
-	rb := d.ref.OnCreate(pb, b)
-	if !ra || !rb {
-		d.t.Fatalf("fork OnCreate: runChild idx=%v ref=%v, want true/true", ra, rb)
+	for i, p := range d.sides {
+		if !p.OnCreate(d.mirr[i][parentID], ts[i]) {
+			d.t.Fatalf("%s: fork OnCreate did not run child, want true", d.names[i])
+		}
+		// The machine preempts the parent and runs the child immediately.
+		p.OnReady(d.mirr[i][parentID], 0)
 	}
-	// The machine preempts the parent and runs the child immediately.
-	d.idx.OnReady(pa, 0)
-	d.ref.OnReady(pb, 0)
 	d.moveRunning(parentID, &d.ready)
 	d.running = append(d.running, id)
 	d.check("fork")
 }
 
-// dispatch pulls the next thread from both sides and requires the same
+// dispatch pulls the next thread from all sides and requires the same
 // choice.
 func (d *diffADF) dispatch() {
-	a := d.idx.Next(0)
-	b := d.ref.Next(0)
-	switch {
-	case (a == nil) != (b == nil):
-		d.t.Fatalf("Next: idx=%v ref=%v", a, b)
-	case a == nil:
-		return
-	case a.ID != b.ID:
-		d.t.Fatalf("Next chose different threads: idx=%d ref=%d", a.ID, b.ID)
+	first := d.sides[0].Next(0)
+	for i := 1; i < len(d.sides); i++ {
+		got := d.sides[i].Next(0)
+		switch {
+		case (first == nil) != (got == nil):
+			d.t.Fatalf("Next: %s=%v %s=%v", d.names[0], first, d.names[i], got)
+		case first != nil && got.ID != first.ID:
+			d.t.Fatalf("Next chose different threads: %s=%d %s=%d",
+				d.names[0], first.ID, d.names[i], got.ID)
+		}
 	}
-	d.removeID(&d.ready, a.ID)
-	d.running = append(d.running, a.ID)
+	if first == nil {
+		return
+	}
+	d.removeID(&d.ready, first.ID)
+	d.running = append(d.running, first.ID)
 	d.check("dispatch")
 }
 
 func (d *diffADF) block(id int64) {
-	d.idx.OnBlock(d.idxT[id])
-	d.ref.OnBlock(d.refT[id])
+	for i, p := range d.sides {
+		p.OnBlock(d.mirr[i][id])
+	}
 	d.moveRunning(id, &d.blocked)
 	d.check("block")
 }
 
 func (d *diffADF) wake(id int64) {
-	d.idx.OnReady(d.idxT[id], 0)
-	d.ref.OnReady(d.refT[id], 0)
+	for i, p := range d.sides {
+		p.OnReady(d.mirr[i][id], 0)
+	}
 	d.removeID(&d.blocked, id)
 	d.ready = append(d.ready, id)
 	d.check("wake")
 }
 
 func (d *diffADF) yield(id int64) {
-	d.idx.OnReady(d.idxT[id], 0)
-	d.ref.OnReady(d.refT[id], 0)
+	for i, p := range d.sides {
+		p.OnReady(d.mirr[i][id], 0)
+	}
 	d.moveRunning(id, &d.ready)
 	d.check("yield")
 }
 
 func (d *diffADF) exit(id int64) {
-	d.idx.OnExit(d.idxT[id])
-	d.ref.OnExit(d.refT[id])
-	delete(d.idxT, id)
-	delete(d.refT, id)
+	for i, p := range d.sides {
+		p.OnExit(d.mirr[i][id])
+		delete(d.mirr[i], id)
+	}
 	d.removeID(&d.running, id)
 	d.check("exit")
 }
@@ -147,49 +165,119 @@ func (d *diffADF) removeID(s *[]int64, id int64) {
 	d.t.Fatalf("id %d not in state slice", id)
 }
 
-// check asserts every observable agrees between the two stores and
-// that the maintained counters match ground truth.
+// chainOrder returns the reference list's left-to-right thread IDs and
+// ready flags for one priority level.
+func (d *diffADF) chainOrder(pri int) (ids []int64, ready []bool) {
+	l := d.sides[refSide].levels[pri].(*adfChain)
+	for e := l.head; e != nil; e = e.next {
+		ids = append(ids, e.t.ID)
+		ready = append(ready, e.ready)
+	}
+	return ids, ready
+}
+
+// treapOrder returns the treap's in-order thread IDs for one level.
+func (d *diffADF) treapOrder(pri int, side int) []int64 {
+	tr := d.sides[side].levels[pri].(*adfTreap)
+	var ids []int64
+	var walk func(*treapEntry)
+	walk = func(e *treapEntry) {
+		if e == nil {
+			return
+		}
+		walk(e.left)
+		ids = append(ids, e.t.ID)
+		walk(e.right)
+	}
+	walk(tr.root)
+	return ids
+}
+
+// check asserts every observable agrees across the stores and that the
+// maintained counters match ground truth.
 func (d *diffADF) check(op string) {
 	d.t.Helper()
-	if a, b := d.idx.Live(), d.ref.Live(); a != b {
-		d.t.Fatalf("%s: Live idx=%d ref=%d", op, a, b)
-	}
-	if a, b := d.idx.ReadyCount(), d.ref.ReadyCount(); a != b {
-		d.t.Fatalf("%s: ReadyCount idx=%d ref=%d", op, a, b)
-	}
-	if want := len(d.ready); d.idx.ReadyCount() != want {
-		d.t.Fatalf("%s: ReadyCount=%d, model has %d ready", op, d.idx.ReadyCount(), want)
-	}
-	if want := len(d.idxT); d.idx.Live() != want {
-		d.t.Fatalf("%s: Live=%d, model has %d live", op, d.idx.Live(), want)
-	}
-	idxEntries, refEntries, idxReady, refReady := 0, 0, 0, 0
-	for pri := 0; pri < core.NumPriorities; pri++ {
-		ir, rr := d.idx.levels[pri].readyCount(), d.ref.levels[pri].readyCount()
-		if ir != rr {
-			d.t.Fatalf("%s: level %d readyCount idx=%d ref=%d", op, pri, ir, rr)
+	lead := d.sides[0]
+	for i := 1; i < len(d.sides); i++ {
+		if a, b := lead.Live(), d.sides[i].Live(); a != b {
+			d.t.Fatalf("%s: Live %s=%d %s=%d", op, d.names[0], a, d.names[i], b)
 		}
-		idxReady += ir
-		refReady += rr
-		idxEntries += d.idx.levels[pri].count()
-		refEntries += d.ref.levels[pri].count()
+		if a, b := lead.ReadyCount(), d.sides[i].ReadyCount(); a != b {
+			d.t.Fatalf("%s: ReadyCount %s=%d %s=%d", op, d.names[0], a, d.names[i], b)
+		}
 	}
-	if idxEntries != d.idx.Live() {
-		d.t.Fatalf("%s: treap walk found %d entries, Live counter says %d", op, idxEntries, d.idx.Live())
+	if want := len(d.ready); lead.ReadyCount() != want {
+		d.t.Fatalf("%s: ReadyCount=%d, model has %d ready", op, lead.ReadyCount(), want)
 	}
-	if refEntries != d.ref.Live() {
-		d.t.Fatalf("%s: list walk found %d entries, Live counter says %d", op, refEntries, d.ref.Live())
+	if want := len(d.mirr[0]); lead.Live() != want {
+		d.t.Fatalf("%s: Live=%d, model has %d live", op, lead.Live(), want)
 	}
-	if idxReady != d.idx.ReadyCount() || refReady != d.ref.ReadyCount() {
-		d.t.Fatalf("%s: per-level ready sums (%d, %d) disagree with counters (%d, %d)",
-			op, idxReady, refReady, d.idx.ReadyCount(), d.ref.ReadyCount())
+	wantLevel := make([]int, core.NumPriorities)
+	for _, th := range d.mirr[0] {
+		wantLevel[th.Priority]++
+	}
+	for pri := 0; pri < core.NumPriorities; pri++ {
+		readyN := d.sides[0].levels[pri].readyCount()
+		for i, p := range d.sides {
+			if rc := p.levels[pri].readyCount(); rc != readyN {
+				d.t.Fatalf("%s: level %d readyCount %s=%d %s=%d",
+					op, pri, d.names[0], readyN, d.names[i], rc)
+			}
+			if n := p.levels[pri].count(); n != wantLevel[pri] {
+				d.t.Fatalf("%s: %s level %d walk found %d entries, want %d",
+					op, d.names[i], pri, n, wantLevel[pri])
+			}
+		}
+		d.checkOrder(op, pri)
+	}
+	sums := make([]int, len(d.sides))
+	for pri := 0; pri < core.NumPriorities; pri++ {
+		for i, p := range d.sides {
+			sums[i] += p.levels[pri].readyCount()
+		}
+	}
+	for i, p := range d.sides {
+		if sums[i] != p.ReadyCount() {
+			d.t.Fatalf("%s: %s per-level ready sum %d disagrees with counter %d",
+				op, d.names[i], sums[i], p.ReadyCount())
+		}
+	}
+}
+
+// checkOrder asserts the three stores maintain the identical serial
+// order in one level: the DePa labels strictly increase along the
+// reference list (left-of agreement on every adjacent pair, hence — by
+// totality — on every pair), and the treap's in-order traversal equals
+// the list.
+func (d *diffADF) checkOrder(op string, pri int) {
+	d.t.Helper()
+	ids, _ := d.chainOrder(pri)
+	tids := d.treapOrder(pri, 1)
+	if len(tids) != len(ids) {
+		d.t.Fatalf("%s: level %d treap in-order has %d entries, list has %d", op, pri, len(tids), len(ids))
+	}
+	for k := range ids {
+		if tids[k] != ids[k] {
+			d.t.Fatalf("%s: level %d position %d: treap=%d list=%d", op, pri, k, tids[k], ids[k])
+		}
+	}
+	var prev *depaEntry
+	for k, id := range ids {
+		e := d.mirr[0][id].SchedState.(*depaEntry)
+		if prev != nil {
+			if c := prev.label.Compare(e.label); c >= 0 {
+				d.t.Fatalf("%s: level %d: depa label order broken at position %d (ids %d,%d): Compare=%d",
+					op, pri, k, ids[k-1], id, c)
+			}
+		}
+		prev = e
 	}
 }
 
 // step applies one operation chosen by the byte stream; it returns
 // false once the computation is fully drained and cannot restart.
 func (d *diffADF) step(opByte, pickByte, priByte byte) {
-	if len(d.idxT) == 0 {
+	if len(d.mirr[0]) == 0 {
 		d.fork(-1, int(priByte)%core.NumPriorities)
 		return
 	}
@@ -202,7 +290,7 @@ func (d *diffADF) step(opByte, pickByte, priByte byte) {
 	switch opByte % 6 {
 	case 0: // fork from a running thread, usually same priority
 		if id, ok := pick(d.running); ok {
-			pri := d.idxT[id].Priority
+			pri := d.mirr[0][id].Priority
 			if priByte%4 == 0 {
 				// Cross-priority fork: exercises the insertHead path.
 				pri = int(priByte) % core.NumPriorities
@@ -244,8 +332,10 @@ func (d *diffADF) drain() {
 	for len(d.running) > 0 {
 		d.exit(d.running[0])
 	}
-	if a, b := d.idx.Next(0), d.ref.Next(0); a != nil || b != nil {
-		d.t.Fatalf("drained policies still dispatch: idx=%v ref=%v", a, b)
+	for i, p := range d.sides {
+		if got := p.Next(0); got != nil {
+			d.t.Fatalf("drained %s still dispatches: %v", d.names[i], got)
+		}
 	}
 }
 

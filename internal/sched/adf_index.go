@@ -2,7 +2,8 @@ package sched
 
 import "spthreads/internal/core"
 
-// adfTreap is the indexed dispatch structure behind the ADF policy: a
+// adfTreap is the indexed dispatch structure behind the "adf-treap"
+// policy flag (and the production ADF store before the DePa labels): a
 // treap whose in-order traversal is the serial depth-first order of the
 // placeholder entries, with each node carrying the count of ready
 // entries in its subtree. There are no search keys — positions are
@@ -27,6 +28,7 @@ import "spthreads/internal/core"
 type adfTreap struct {
 	root *treapEntry
 	rng  *treapRand
+	vops *int64 // shared virtual structure-op counter (see adfPolicy.VOps)
 }
 
 // treapEntry is a thread's placeholder node. nReady counts ready
@@ -68,6 +70,7 @@ func (tr *adfTreap) insertHead(t *core.Thread) {
 	n := tr.root
 	for n.left != nil {
 		n = n.left
+		*tr.vops++
 	}
 	n.left = e
 	e.parent = n
@@ -85,6 +88,7 @@ func (tr *adfTreap) insertBefore(child, parent *core.Thread) {
 		n := at.left
 		for n.right != nil {
 			n = n.right
+			*tr.vops++
 		}
 		n.right = e
 		e.parent = n
@@ -136,6 +140,7 @@ func (tr *adfTreap) flipReady(e *treapEntry, ready bool) {
 	}
 	for n := e; n != nil; n = n.parent {
 		n.nReady += d
+		*tr.vops++
 	}
 }
 
@@ -155,6 +160,7 @@ func (tr *adfTreap) takeLeftmostReady() *core.Thread {
 	// leftmost one is in the left subtree if that has any, else it is
 	// this node if flagged, else it is in the right subtree.
 	for {
+		*tr.vops++
 		if n.left != nil && n.left.nReady > 0 {
 			n = n.left
 			continue
@@ -189,6 +195,7 @@ func (tr *adfTreap) bubbleUp(e *treapEntry) {
 // rotateUp rotates e above its parent, preserving the in-order sequence
 // and recomputing the two touched ready counts.
 func (tr *adfTreap) rotateUp(e *treapEntry) {
+	*tr.vops++
 	p := e.parent
 	g := p.parent
 	if p.left == e {

@@ -165,15 +165,17 @@ func TestADFIndexedMatchesReferenceMachine(t *testing.T) {
 	}
 
 	for _, procs := range []int{1, 4} {
-		idx := runWith(sched.MustNew(sched.ADF, sched.Options{MemQuota: quota}), procs)
 		ref := runWith(sched.NewADFReference(quota, false), procs)
-		if idx.Time != ref.Time || idx.HeapHWM != ref.HeapHWM ||
-			idx.PeakLive != ref.PeakLive || idx.DummyThreads != ref.DummyThreads ||
-			idx.ThreadsCreated != ref.ThreadsCreated {
-			t.Errorf("p=%d: indexed and reference ADF diverge:\n  indexed:   time=%v heap=%d peak=%d dummies=%d created=%d\n  reference: time=%v heap=%d peak=%d dummies=%d created=%d",
-				procs,
-				idx.Time, idx.HeapHWM, idx.PeakLive, idx.DummyThreads, idx.ThreadsCreated,
-				ref.Time, ref.HeapHWM, ref.PeakLive, ref.DummyThreads, ref.ThreadsCreated)
+		for _, kind := range []sched.Kind{sched.ADF, sched.ADFTreap} {
+			idx := runWith(sched.MustNew(kind, sched.Options{MemQuota: quota}), procs)
+			if idx.Time != ref.Time || idx.HeapHWM != ref.HeapHWM ||
+				idx.PeakLive != ref.PeakLive || idx.DummyThreads != ref.DummyThreads ||
+				idx.ThreadsCreated != ref.ThreadsCreated {
+				t.Errorf("p=%d: %s and reference ADF diverge:\n  %s: time=%v heap=%d peak=%d dummies=%d created=%d\n  reference: time=%v heap=%d peak=%d dummies=%d created=%d",
+					procs, kind, kind,
+					idx.Time, idx.HeapHWM, idx.PeakLive, idx.DummyThreads, idx.ThreadsCreated,
+					ref.Time, ref.HeapHWM, ref.PeakLive, ref.DummyThreads, ref.ThreadsCreated)
+			}
 		}
 	}
 }

@@ -13,6 +13,7 @@ import "spthreads/internal/core"
 type adfChain struct {
 	head, tail *chainEntry
 	ready      int
+	vops       *int64 // shared virtual structure-op counter (see adfPolicy.VOps)
 }
 
 // chainEntry is a thread's placeholder in the ordered list.
@@ -23,6 +24,7 @@ type chainEntry struct {
 }
 
 func (l *adfChain) insertHead(t *core.Thread) {
+	*l.vops++
 	e := &chainEntry{t: t}
 	t.SchedState = e
 	e.next = l.head
@@ -36,6 +38,7 @@ func (l *adfChain) insertHead(t *core.Thread) {
 }
 
 func (l *adfChain) insertBefore(child, parent *core.Thread) {
+	*l.vops++
 	at := parent.SchedState.(*chainEntry)
 	e := &chainEntry{t: child}
 	child.SchedState = e
@@ -50,6 +53,7 @@ func (l *adfChain) insertBefore(child, parent *core.Thread) {
 }
 
 func (l *adfChain) remove(t *core.Thread) {
+	*l.vops++
 	e := t.SchedState.(*chainEntry)
 	if e.ready {
 		e.ready = false
@@ -79,6 +83,7 @@ func (l *adfChain) setReady(t *core.Thread, ready bool) bool {
 	} else {
 		l.ready--
 	}
+	*l.vops++
 	return true
 }
 
@@ -86,6 +91,7 @@ func (l *adfChain) readyCount() int { return l.ready }
 
 func (l *adfChain) takeLeftmostReady() *core.Thread {
 	for e := l.head; e != nil; e = e.next {
+		*l.vops++
 		if e.ready {
 			e.ready = false
 			l.ready--

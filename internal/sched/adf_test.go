@@ -26,7 +26,8 @@ func TestADFCrossPriorityFork(t *testing.T) {
 		name string
 		pol  func() *adfPolicy
 	}{
-		{"indexed", func() *adfPolicy { return newADF(DefaultMemQuota, false) }},
+		{"depa", func() *adfPolicy { return newADF(DefaultMemQuota, false) }},
+		{"treap", func() *adfPolicy { return newADFTreap(DefaultMemQuota, false) }},
 		{"reference", func() *adfPolicy { return NewADFReference(DefaultMemQuota, false).(*adfPolicy) }},
 	} {
 		t.Run(mk.name, func(t *testing.T) {
@@ -109,7 +110,8 @@ func TestADFWakeResumesAtSerialPosition(t *testing.T) {
 		name string
 		pol  func() *adfPolicy
 	}{
-		{"indexed", func() *adfPolicy { return newADF(DefaultMemQuota, false) }},
+		{"depa", func() *adfPolicy { return newADF(DefaultMemQuota, false) }},
+		{"treap", func() *adfPolicy { return newADFTreap(DefaultMemQuota, false) }},
 		{"reference", func() *adfPolicy { return NewADFReference(DefaultMemQuota, false).(*adfPolicy) }},
 	} {
 		t.Run(mk.name, func(t *testing.T) {

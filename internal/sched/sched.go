@@ -23,10 +23,17 @@ type Kind string
 const (
 	FIFO Kind = "fifo" // original Solaris SCHED_OTHER queue
 	LIFO Kind = "lifo" // LIFO modification (paper §4 item 1)
-	ADF  Kind = "adf"  // space-efficient scheduler (paper §4 item 2)
+	ADF  Kind = "adf"  // space-efficient scheduler (paper §4 item 2), DePa-labeled dispatch
 	WS   Kind = "ws"   // Cilk-style work stealing (related-work baseline)
 	DFD  Kind = "dfd"  // simplified DFDeques: space efficiency + locality (paper §6 future work)
 	RR   Kind = "rr"   // POSIX SCHED_RR: prioritized FIFO with time slicing (paper §2.1)
+
+	// ADFTreap is the ADF policy over the previous production store, an
+	// order-statistic treap: identical dispatch sequence, O(log n)
+	// structure walks under the scheduler lock instead of DePa's local
+	// label compares. Retained as a differential oracle and for the
+	// dispatch-cost comparison.
+	ADFTreap Kind = "adf-treap"
 )
 
 // Options carries policy-specific parameters.
@@ -68,6 +75,16 @@ func New(kind Kind, opt Options) (core.Policy, error) {
 			p.attachMetrics(opt.Metrics)
 		}
 		return p, nil
+	case ADFTreap:
+		k := opt.MemQuota
+		if k == 0 {
+			k = DefaultMemQuota
+		}
+		p := newADFTreap(k, opt.DisableDummies)
+		if opt.Metrics != nil {
+			p.attachMetrics(opt.Metrics)
+		}
+		return p, nil
 	case WS:
 		if opt.Procs <= 0 {
 			opt.Procs = 1
@@ -103,4 +120,4 @@ func MustNew(kind Kind, opt Options) core.Policy {
 }
 
 // Kinds lists every policy kind.
-func Kinds() []Kind { return []Kind{FIFO, LIFO, ADF, WS, DFD, RR} }
+func Kinds() []Kind { return []Kind{FIFO, LIFO, ADF, ADFTreap, WS, DFD, RR} }

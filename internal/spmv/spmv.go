@@ -225,26 +225,48 @@ func Fine(cfg Config) func(*pthread.T) {
 	cfg = cfg.withDefaults()
 	return func(t *pthread.T) {
 		m, v, w, vAll, wAll := setup(t, cfg)
-		nt := cfg.FineThreads
-		for it := 0; it < cfg.Iterations; it++ {
-			fns := make([]func(*pthread.T), 0, nt)
-			chunk := (m.Rows + nt - 1) / nt
-			for lo := 0; lo < m.Rows; lo += chunk {
-				hi := lo + chunk
-				if hi > m.Rows {
-					hi = m.Rows
-				}
-				lo, hi := lo, hi
-				fns = append(fns, func(ct *pthread.T) {
-					multRange(ct, m, v, w, vAll, wAll, lo, hi)
-				})
-			}
-			t.Par(fns...)
-		}
+		fineIterations(t, cfg, m, v, w, vAll, wAll)
 		if cfg.Check {
 			check(t, m, v, w)
 		}
 	}
+}
+
+// fineIterations runs cfg.Iterations fine-grained multiplications:
+// FineThreads threads per iteration over equal row blocks.
+func fineIterations(t *pthread.T, cfg Config, m *Matrix, v, w []float64, vAll, wAll pthread.Alloc) {
+	nt := cfg.FineThreads
+	for it := 0; it < cfg.Iterations; it++ {
+		fns := make([]func(*pthread.T), 0, nt)
+		chunk := (m.Rows + nt - 1) / nt
+		for lo := 0; lo < m.Rows; lo += chunk {
+			hi := lo + chunk
+			if hi > m.Rows {
+				hi = m.Rows
+			}
+			lo, hi := lo, hi
+			fns = append(fns, func(ct *pthread.T) {
+				multRange(ct, m, v, w, vAll, wAll, lo, hi)
+			})
+		}
+		t.Par(fns...)
+	}
+}
+
+// FineChecksum runs the fine-grained multiplication sequence and folds
+// the result vector into a position-weighted checksum. Worker threads
+// write disjoint row ranges and only read v, so the checksum is
+// schedule-independent; the backend-parity tests compare it exactly
+// between the simulator and the native goroutine backend.
+func FineChecksum(t *pthread.T, cfg Config) float64 {
+	cfg = cfg.withDefaults()
+	m, v, w, vAll, wAll := setup(t, cfg)
+	fineIterations(t, cfg, m, v, w, vAll, wAll)
+	var sum float64
+	for i, x := range w {
+		sum += x * float64(i%127+1)
+	}
+	return sum
 }
 
 // Coarse returns the coarse-grained Spark98-style program: cfg.Procs

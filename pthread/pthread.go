@@ -57,7 +57,12 @@ const (
 	PolicyFIFO = sched.FIFO
 	PolicyLIFO = sched.LIFO
 	PolicyADF  = sched.ADF
-	PolicyWS   = sched.WS
+	// PolicyADFTreap is the ADF scheduler with its previous
+	// order-statistic treap store instead of the default DePa fork-path
+	// labels — identical dispatch order, kept selectable as a
+	// differential oracle and for dispatch-cost comparison.
+	PolicyADFTreap = sched.ADFTreap
+	PolicyWS       = sched.WS
 	// PolicyDFD is a simplified DFDeques scheduler: the paper's
 	// future-work direction combining space efficiency with locality
 	// (threads close in the computation graph run on the same
