@@ -20,8 +20,19 @@
 // deterministic, still gate), and the wall_ms and ns_per_dispatch
 // metrics are report-only on every backend — the dispatch sweep gates
 // on vops_per_dispatch, the deterministic virtual structure-operation
-// count, instead. Exit status: 0 when within threshold, 1 on
-// regression, 2 on usage or unreadable input.
+// count, instead.
+//
+// -max name=value[,name=value...] adds an absolute ceiling: every run
+// in the NEW file whose named metric is present must not exceed value.
+// Unlike -threshold it is not relative to the old file and it applies
+// to native rows too — it is how CI gates the native-obs tracer
+// overhead (a bound on overhead_pct, which is already a ratio of two
+// same-host wall times and therefore host-comparable):
+//
+//	benchdiff -max overhead_pct=10 BENCH_7.json BENCH_native-obs.json
+//
+// Exit status: 0 when within threshold and ceilings, 1 on regression
+// or exceeded ceiling, 2 on usage or unreadable input.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -54,6 +66,7 @@ type benchRun struct {
 	Procs       int     `json:"procs"`
 	Batch       int     `json:"batch"`
 	Backend     string  `json:"backend"`
+	Tracer      bool    `json:"tracer"`
 	LiveThreads  int     `json:"live_threads"`
 	TimeCycles   float64 `json:"time_cycles"`
 	WallMS       float64 `json:"wall_ms"`
@@ -63,6 +76,7 @@ type benchRun struct {
 	TotalHWM     float64 `json:"total_hwm_bytes"`
 	NSDispatch   float64 `json:"ns_per_dispatch"`
 	VOpsDispatch float64 `json:"vops_per_dispatch"`
+	OverheadPct  float64 `json:"overhead_pct"`
 	Metrics     *struct {
 		Histograms map[string]struct {
 			Count float64 `json:"count"`
@@ -94,6 +108,11 @@ var metrics = []metric{
 	// count and carries the gate instead.
 	{"ns_per_dispatch", false, true, func(r benchRun) (float64, bool) { return r.NSDispatch, r.NSDispatch > 0 }},
 	{"vops_per_dispatch", false, false, func(r benchRun) (float64, bool) { return r.VOpsDispatch, r.VOpsDispatch > 0 }},
+	// Tracer overhead is a ratio of two same-host wall times, so the
+	// absolute -max ceiling gates it; a relative delta between two hosts'
+	// overhead percentages is noise, hence report-only here. Negative
+	// values (measurement noise on an effectively free tracer) are valid.
+	{"overhead_pct", false, true, func(r benchRun) (float64, bool) { return r.OverheadPct, r.Tracer }},
 	{"analysis.work_cycles", false, false, func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Work })
 	}},
@@ -135,6 +154,9 @@ func key(r benchRun) string {
 	if r.Backend != "" {
 		k += "|" + r.Backend
 	}
+	if r.Tracer {
+		k += "|tracer"
+	}
 	return k
 }
 
@@ -152,8 +174,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0, "fail (exit 1) when any metric regresses by more than this percent (0: report only)")
 	metricFlag := fs.String("metric", "", "comma-separated metric names to compare (default: all); e.g. -metric sched.lock.wait")
+	maxFlag := fs.String("max", "", "comma-separated absolute ceilings name=value on runs in new.json; applies to native rows too, e.g. -max overhead_pct=10")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] [-metric name,...] old.json new.json")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] [-metric name,...] [-max name=value,...] old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -161,6 +184,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()
+		return 2
+	}
+	ceilings, err := parseMax(*maxFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v (known metrics: %s)\n", err, strings.Join(metricNames(), ", "))
 		return 2
 	}
 	compared := metrics
@@ -260,11 +288,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s: only in %s\n", k, fs.Arg(0))
 		}
 	}
+	// Absolute ceilings check every run of the new file, including
+	// native rows the relative threshold exempts.
+	exceeded := false
+	for _, k := range keys {
+		nr := newRuns[k]
+		for _, c := range ceilings {
+			v, ok := c.m.get(nr)
+			if !ok {
+				continue
+			}
+			if v > c.limit {
+				fmt.Fprintf(stdout, "%-40s %-28s %14.6g > max %g  EXCEEDED\n", k, c.m.name, v, c.limit)
+				exceeded = true
+			}
+		}
+	}
 	if regressed {
 		fmt.Fprintf(stderr, "benchdiff: regressions beyond %.1f%%\n", *threshold)
 		return 1
 	}
+	if exceeded {
+		fmt.Fprintf(stderr, "benchdiff: absolute ceilings exceeded\n")
+		return 1
+	}
 	return 0
+}
+
+// ceiling is one parsed -max entry.
+type ceiling struct {
+	m     metric
+	limit float64
+}
+
+// parseMax parses "-max name=value[,name=value...]" against the known
+// metric set.
+func parseMax(s string) ([]ceiling, error) {
+	if s == "" {
+		return nil, nil
+	}
+	byName := make(map[string]metric, len(metrics))
+	for _, m := range metrics {
+		byName[m.name] = m
+	}
+	var out []ceiling
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -max entry %q: want name=value", part)
+		}
+		m, known := byName[strings.TrimSpace(name)]
+		if !known {
+			return nil, fmt.Errorf("unknown -max metric %q", name)
+		}
+		limit, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -max value in %q: %v", part, err)
+		}
+		out = append(out, ceiling{m: m, limit: limit})
+	}
+	return out, nil
 }
 
 func metricNames() []string {

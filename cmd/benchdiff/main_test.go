@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -328,5 +329,80 @@ func TestDispatchGatesOnVOps(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "vops_per_dispatch") {
 		t.Errorf("vops regression not named:\n%s", out.String())
+	}
+}
+
+// obsBench builds a native-obs style file with tracer-off/on row pairs;
+// pct is the on-row overhead percentage.
+func obsBench(pct float64) string {
+	return fmt.Sprintf(`{
+  "experiment": "native-obs",
+  "runs": [
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native", "wall_ms": 100},
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native", "wall_ms": 105,
+     "tracer": true, "trace_events": 65000, "overhead_pct": %g}
+  ]
+}`, pct)
+}
+
+// TestMaxCeilingGatesNativeRows: -max applies to native rows the
+// relative threshold exempts; tracer-on and tracer-off rows are
+// distinct keys (no collision).
+func TestMaxCeilingGatesNativeRows(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10", "-max", "overhead_pct=10",
+		writeJSON(t, "old.json", obsBench(4.5)), writeJSON(t, "new.json", obsBench(6.0))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (6%% under a 10%% ceiling)\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "only in") {
+		t.Errorf("tracer rows collided or went unmatched:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-max", "overhead_pct=10",
+		writeJSON(t, "old.json", obsBench(4.5)), writeJSON(t, "new.json", obsBench(17.2))}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (17.2%% over a 10%% ceiling)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "EXCEEDED") || !strings.Contains(out.String(), "overhead_pct") {
+		t.Errorf("ceiling violation not named:\n%s", out.String())
+	}
+}
+
+// TestMaxOnlyChecksRowsWithMetric: a ceiling on overhead_pct ignores
+// tracer-off rows (no overhead value) and other experiments entirely.
+func TestMaxOnlyChecksRowsWithMetric(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-max", "overhead_pct=0.001",
+		writeJSON(t, "old.json", oldBench), writeJSON(t, "new.json", oldBench)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (no rows carry overhead_pct)\nstdout: %s", code, out.String())
+	}
+}
+
+// TestMaxParseErrors: malformed or unknown -max entries exit 2.
+func TestMaxParseErrors(t *testing.T) {
+	for _, bad := range []string{"overhead_pct", "nope=10", "overhead_pct=abc"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-max", bad,
+			writeJSON(t, "old.json", oldBench), writeJSON(t, "new.json", oldBench)}, &out, &errb)
+		if code != 2 {
+			t.Errorf("-max %q: run = %d, want 2\nstderr: %s", bad, code, errb.String())
+		}
+	}
+}
+
+// TestOverheadPctReportOnlyRelative: overhead_pct growing between two
+// files never trips the relative threshold (it is host noise); only
+// -max gates it.
+func TestOverheadPctReportOnlyRelative(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", obsBench(2.0)), writeJSON(t, "new.json", obsBench(8.0))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (overhead_pct relative delta is report-only)\nstdout: %s", code, out.String())
 	}
 }

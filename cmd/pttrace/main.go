@@ -9,9 +9,15 @@
 // reports W, D, W/D, S₁, and the attributed critical path; with -in it
 // skips the run and works from a previously recorded JSONL trace.
 //
-//	pttrace [-policy adf|adf-treap|fifo|lifo|ws|dfd|rr] [-procs 4] [-depth 5] [-width 100]
+//	pttrace [-policy adf|adf-treap|fifo|lifo|ws|dfd|rr] [-backend sim|native]
+//	        [-procs 4] [-depth 5] [-width 100]
 //	        [-out trace.json] [-events events.jsonl] [-space space.csv]
 //	        [-dot dag.dot] [-analyze] [-in events.jsonl]
+//
+// With -backend native the same program runs on real goroutines: the
+// trace records wall-clock nanoseconds (the JSONL header and every
+// export carry the unit), and -dot is unavailable — the DAG recorder is
+// sim-only; analyze the recorded trace instead.
 //
 // Exit status: 0 on success, 2 for usage errors — including an empty
 // or truncated -in trace file — and 1 for runtime/I/O failures.
@@ -25,6 +31,7 @@ import (
 
 	"spthreads/internal/analyze"
 	"spthreads/internal/trace"
+	"spthreads/internal/vtime"
 	"spthreads/pthread"
 )
 
@@ -36,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pttrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	policy := fs.String("policy", "adf", "scheduler: fifo, lifo, adf, adf-treap, ws, dfd, rr")
+	backend := fs.String("backend", "sim", "execution backend: sim (deterministic virtual time) or native (goroutines, wall clock)")
 	procs := fs.Int("procs", 4, "virtual processors")
 	depth := fs.Int("depth", 5, "fork-tree depth (2^depth leaves)")
 	width := fs.Int("width", 100, "gantt chart width in buckets")
@@ -69,6 +77,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if !validBackend(*backend) {
+		fmt.Fprintf(stderr, "pttrace: unknown backend %q (valid: sim, native)\n\n", *backend)
+		fs.Usage()
+		return 2
+	}
+	native := pthread.Backend(*backend) == pthread.BackendNative
+	if native && *dotPath != "" {
+		fmt.Fprintln(stderr, "pttrace: the DAG recorder is sim-only; on -backend native use -events and feed the trace to ptanalyze")
+		fs.Usage()
+		return 2
+	}
 
 	rec := pthread.NewTraceRecorder(1 << 20)
 	reg := pthread.NewMetrics()
@@ -80,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := pthread.Config{
 		Procs:        *procs,
 		Policy:       pthread.Policy(*policy),
+		Backend:      pthread.Backend(*backend),
 		DefaultStack: pthread.SmallStackSize,
 		Tracer:       rec,
 		DAG:          g,
@@ -108,8 +128,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	fmt.Fprintf(stdout, "policy=%s procs=%d: %d threads, peak live %d, time %v, heap HWM %d B\n\n",
-		*policy, *procs, stats.ThreadsCreated, stats.PeakLive, stats.Time, stats.HeapHWM)
+	fmt.Fprintf(stdout, "policy=%s backend=%s procs=%d: %d threads, peak live %d, time %v, heap HWM %d B\n\n",
+		*policy, *backend, *procs, stats.ThreadsCreated, stats.PeakLive, stats.Time, stats.HeapHWM)
 	if g != nil {
 		if err := os.WriteFile(*dotPath, []byte(g.DOT()), 0o644); err != nil {
 			fmt.Fprintf(stderr, "pttrace: %v\n", err)
@@ -128,7 +148,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			m.Counters["sched.dispatches"], m.Counters["sched.quota.preempts"],
 			m.Counters["sched.dummy.forks"])
 		if h, ok := m.Histograms["sched.dispatch.wait"]; ok {
-			fmt.Fprintf(stdout, " dispatch-wait-p50=%dcy p99=%dcy", h.P50, h.P99)
+			// Sim histograms observe virtual cycles, native ones wall ns.
+			suffix := "cy"
+			if native {
+				suffix = "ns"
+			}
+			fmt.Fprintf(stdout, " dispatch-wait-p50=%d%s p99=%d%s", h.P50, suffix, h.P99, suffix)
 		}
 		if gv, ok := m.Gauges["adf.placeholders"]; ok {
 			fmt.Fprintf(stdout, " max-placeholders=%d", gv.Max)
@@ -144,7 +169,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if s.Dispatches < 2 {
 			continue
 		}
-		fmt.Fprintf(stdout, "  thread %-4d dispatched %d times, lifetime %v\n", s.Thread, s.Dispatches, s.Lifetime)
+		fmt.Fprintf(stdout, "  thread %-4d dispatched %d times, lifetime %s\n",
+			s.Thread, s.Dispatches, rec.Unit().FormatDuration(int64(s.Lifetime)))
 		shown++
 	}
 	if shown == 0 {
@@ -175,7 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *outPath != "" {
 		if err := writeFile(*outPath, func(f io.Writer) error {
-			return rec.WriteChrome(f, *procs, spaceCounters(prof))
+			return rec.WriteChrome(f, *procs, spaceCounters(prof, native))
 		}); err != nil {
 			fmt.Fprintf(stderr, "pttrace: %v\n", err)
 			return 1
@@ -280,20 +306,38 @@ func writeFile(path string, write func(io.Writer) error) error {
 }
 
 // spaceCounters converts the space profile into Chrome counter tracks
-// (downsampled so huge runs stay loadable).
-func spaceCounters(prof *pthread.SpaceProfiler) []trace.CounterSample {
+// (downsampled so huge runs stay loadable). The profiler always stamps
+// samples in virtual cycles — the native backend converts wall time at
+// the calibrated rate — so for a wall-ns trace the timestamps convert
+// back to nanoseconds to share the events' time base.
+func spaceCounters(prof *pthread.SpaceProfiler, toWallNS bool) []trace.CounterSample {
 	samples := prof.Downsample(2048)
+	at := func(t vtime.Time) vtime.Time {
+		if toWallNS {
+			return vtime.Time(int64(t) * 1000 / vtime.CyclesPerMicrosecond)
+		}
+		return t
+	}
 	out := make([]trace.CounterSample, 0, 2*len(samples))
 	for _, s := range samples {
 		out = append(out,
-			trace.CounterSample{At: s.At, Name: "space (bytes)", Series: map[string]int64{
+			trace.CounterSample{At: at(s.At), Name: "space (bytes)", Series: map[string]int64{
 				"heap": s.Heap, "stack": s.Stack,
 			}},
-			trace.CounterSample{At: s.At, Name: "live threads", Series: map[string]int64{
+			trace.CounterSample{At: at(s.At), Name: "live threads", Series: map[string]int64{
 				"live": int64(s.Live),
 			}})
 	}
 	return out
+}
+
+func validBackend(name string) bool {
+	for _, b := range pthread.Backends() {
+		if string(b) == name {
+			return true
+		}
+	}
+	return false
 }
 
 func validPolicy(name string) bool {

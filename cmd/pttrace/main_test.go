@@ -105,3 +105,73 @@ func TestRoundTripAnalyze(t *testing.T) {
 		}
 	}
 }
+
+// TestNativeRoundTripWallUnits: a native run exports a wall-ns JSONL
+// trace whose unit survives the reload — the offline analysis and the
+// Chrome export must read nanoseconds, not cycles.
+func TestNativeRoundTripWallUnits(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.jsonl")
+	chromeOut := filepath.Join(dir, "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-backend", "native", "-policy", "adf", "-procs", "2", "-depth", "3",
+		"-width", "40", "-events", events, "-out", chromeOut, "-analyze"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("native live run = %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "backend=native") {
+		t.Errorf("live output missing backend tag:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, _, _ := strings.Cut(string(raw), "\n")
+	if !strings.Contains(header, `"unit":"wall-ns"`) {
+		t.Errorf("JSONL header = %q, want wall-ns unit", header)
+	}
+	chrome, err := os.ReadFile(chromeOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(chrome), `"timeUnit":"wall-ns"`) {
+		t.Error("Chrome export missing wall-ns timeUnit metadata")
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-in", events, "-analyze", "-width", "40"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("offline reload = %d\nstderr: %s", code, errb.String())
+	}
+	offline := out.String()
+	for _, want := range []string{"run DAG analysis:", "work W", "depth D", "critical path"} {
+		if !strings.Contains(offline, want) {
+			t.Errorf("offline analysis of native trace missing %q:\n%s", want, offline)
+		}
+	}
+}
+
+// TestNativeRejectsDot: the DAG recorder is sim-only and the error
+// must say what to do instead.
+func TestNativeRejectsDot(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-backend", "native", "-dot", "d.dot"}, &out, &errb); code != 2 {
+		t.Fatalf("native -dot = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "ptanalyze") {
+		t.Errorf("stderr missing the ptanalyze pointer: %s", errb.String())
+	}
+}
+
+// TestUnknownBackendExits2 mirrors the policy-validation contract.
+func TestUnknownBackendExits2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-backend", "qemu"}, &out, &errb); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown backend "qemu"`) {
+		t.Errorf("stderr missing diagnostic: %s", errb.String())
+	}
+}

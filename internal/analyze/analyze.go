@@ -55,10 +55,14 @@ type Options struct {
 	SampleEvery vtime.Duration
 }
 
-// Report is the analysis result. All durations are virtual cycles
-// (167 cycles per modeled microsecond).
+// Report is the analysis result. All durations are ticks of TimeUnit —
+// virtual cycles (167 per modeled microsecond) for sim traces, wall
+// nanoseconds for native traces. The duration field names keep their
+// historical `_cycles` suffix for wire compatibility; TimeUnit says how
+// to read them.
 type Report struct {
 	Policy        string         `json:"policy,omitempty"`
+	TimeUnit      trace.TimeUnit `json:"time_unit"`
 	Procs         int            `json:"procs"`
 	Threads       int            `json:"threads"`
 	DroppedEvents int64          `json:"dropped_events"`
@@ -99,19 +103,24 @@ type Report struct {
 // Peak ≤ SerialSpace + c·Procs·Depth for this run (0 when the run has
 // no parallel slack or no depth to normalize by).
 func (r *Report) FitC() float64 {
-	den := float64(r.Procs) * r.Depth.Microseconds()
+	den := float64(r.Procs) * r.depthUS()
 	if den <= 0 || r.Slack <= 0 {
 		return 0
 	}
 	return float64(r.Slack) / den
 }
 
+// depthUS is the depth in real microseconds of the report's time base,
+// so the space-bound constant c stays in B/(proc·µs) for both sim and
+// native traces.
+func (r *Report) depthUS() float64 { return r.TimeUnit.Microseconds(int64(r.Depth)) }
+
 // ApplyFit re-evaluates the space bound under an externally fitted
 // constant — typically the maximum per-run c across an audit's runs of
 // the same policy.
 func (r *Report) ApplyFit(c float64) {
 	r.C = c
-	r.Bound = r.SerialSpace + int64(c*float64(r.Procs)*r.Depth.Microseconds()+0.5)
+	r.Bound = r.SerialSpace + int64(c*float64(r.Procs)*r.depthUS()+0.5)
 	r.BoundOK = r.Peak <= r.Bound
 }
 
@@ -136,6 +145,7 @@ func Analyze(rec *trace.Recorder, opt Options) (*Report, error) {
 
 	rep := &Report{
 		Policy:        opt.Policy,
+		TimeUnit:      rec.Unit(),
 		Procs:         procs,
 		Threads:       len(a.threads),
 		DroppedEvents: rec.Dropped(),
@@ -294,8 +304,8 @@ func newAnalysis(events []trace.Event) *analysis {
 		if e.Proc > a.maxProc {
 			a.maxProc = e.Proc
 		}
-		if e.Kind == trace.KindBatchRefill {
-			continue // machine-level event: no thread to attribute
+		if e.Kind == trace.KindBatchRefill || e.Kind == trace.KindRunEnd {
+			continue // machine-level events: no thread to attribute
 		}
 		r := get(e.Thread, e.At)
 		switch e.Kind {
@@ -499,8 +509,9 @@ func (r *Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, " (%d events dropped: figures are lower bounds)", r.DroppedEvents)
 	}
 	fmt.Fprintln(w)
+	dur := func(d vtime.Duration) string { return r.TimeUnit.FormatDuration(int64(d)) }
 	fmt.Fprintf(w, "model:  work W %s   depth D %s   parallelism W/D %.1f   makespan %s\n",
-		r.Work, r.Depth, r.Parallelism, r.Makespan)
+		dur(r.Work), dur(r.Depth), r.Parallelism, dur(r.Makespan))
 	fmt.Fprintf(w, "space:  serial S1 %s   peak %s (heap %s, stack %s)   parallel slack %s\n",
 		formatBytes(r.SerialSpace), formatBytes(r.Peak),
 		formatBytes(r.PeakHeap), formatBytes(r.PeakStack), formatBytes(r.Slack))
@@ -517,7 +528,7 @@ func (r *Report) WriteText(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
-	r.Path.writeText(w, r.Makespan)
+	r.Path.writeText(w, r.Makespan, r.TimeUnit)
 }
 
 func formatBytes(n int64) string {

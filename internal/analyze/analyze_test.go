@@ -345,3 +345,39 @@ func TestWriteTextRenders(t *testing.T) {
 		}
 	}
 }
+
+func TestWallUnitReport(t *testing.T) {
+	// The same event stream tagged wall-ns must carry its unit into the
+	// report, the fitted constant (c normalizes by real microseconds, so
+	// ns divide by 1000, not 167), and the rendered text.
+	rec := buildBalancedTree(3, 500)
+	wall := trace.NewRecorder(0)
+	wall.SetUnit(trace.UnitWallNS)
+	for _, e := range rec.Events() {
+		wall.RecordArg(e.At, e.Proc, e.Thread, e.Kind, e.Arg)
+	}
+	rep, err := Analyze(wall, Options{Policy: "adf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TimeUnit != trace.UnitWallNS {
+		t.Errorf("TimeUnit = %v, want wall-ns", rep.TimeUnit)
+	}
+	cyc, err := Analyze(rec, Options{Policy: "adf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Work != cyc.Work || rep.Depth != cyc.Depth {
+		t.Errorf("tick quantities diverged: wall W=%v D=%v, cycles W=%v D=%v",
+			rep.Work, rep.Depth, cyc.Work, cyc.Depth)
+	}
+	// depth 1500 ticks: 1.5us of wall vs 8.98us of virtual time.
+	if got, want := rep.depthUS(), 1.5; got != want {
+		t.Errorf("wall depthUS = %v, want %v", got, want)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	if out := buf.String(); !strings.Contains(out, "depth D 1.5us") {
+		t.Errorf("wall report renders ns unscaled:\n%s", out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"spthreads/internal/trace"
 	"spthreads/internal/vtime"
 )
 
@@ -187,7 +188,7 @@ func lastWakeIn(r *threadRec, lo, hi vtime.Time) (vtime.Time, bool) {
 	return w, true
 }
 
-func (pb *PathBreakdown) writeText(w io.Writer, makespan vtime.Duration) {
+func (pb *PathBreakdown) writeText(w io.Writer, makespan vtime.Duration, unit trace.TimeUnit) {
 	fmt.Fprintf(w, "critical path (%d hops):\n", pb.Hops)
 	pct := func(d vtime.Duration) float64 {
 		if makespan <= 0 {
@@ -211,6 +212,6 @@ func (pb *PathBreakdown) writeText(w io.Writer, makespan vtime.Duration) {
 		if row.d == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "  %-17s %10s  %5.1f%%\n", row.name, row.d, pct(row.d))
+		fmt.Fprintf(w, "  %-17s %10s  %5.1f%%\n", row.name, unit.FormatDuration(int64(row.d)), pct(row.d))
 	}
 }

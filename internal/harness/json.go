@@ -70,6 +70,16 @@ type BenchRun struct {
 	NSPerDispatch   float64 `json:"ns_per_dispatch,omitempty"`
 	VOpsPerDispatch float64 `json:"vops_per_dispatch,omitempty"`
 
+	// Native-observability results (the native-obs experiment). Tracer
+	// marks rows measured with the event tracer attached; TraceEvents is
+	// the median run's merged event count (plus drops, if any);
+	// OverheadPct is the tracer-on wall-clock overhead over the matching
+	// tracer-off row, the gated metric.
+	Tracer       bool    `json:"tracer,omitempty"`
+	TraceEvents  int64   `json:"trace_events,omitempty"`
+	TraceDropped int64   `json:"trace_dropped,omitempty"`
+	OverheadPct  float64 `json:"overhead_pct,omitempty"`
+
 	// Analysis is the trace analyzer's report (W/D/S1/critical path),
 	// present for experiments that reconstruct the run DAG.
 	Analysis *analyze.Report `json:"analysis,omitempty"`

@@ -1,7 +1,8 @@
 // Package jsonschema validates JSON documents against the small subset
 // of JSON Schema the repo's bench-output contract needs: the keywords
 // type (object, array, string, number, integer, boolean, null),
-// properties, required, items, minItems, enum, and minimum. It exists
+// properties, required, items, minItems, enum, minimum, and maximum.
+// It exists
 // so CI can check ptbench's machine-readable output against a
 // checked-in schema without pulling in an external validator
 // dependency.
@@ -26,6 +27,11 @@ type Schema struct {
 	Enum []any `json:"enum,omitempty"`
 	// Minimum is the inclusive lower bound for numeric instances.
 	Minimum *float64 `json:"minimum,omitempty"`
+	// Maximum is the inclusive upper bound for numeric instances. The
+	// bench schema uses it to make gated ratios (the native tracer's
+	// overhead percentage) self-describing: the committed artifact
+	// carries its own sanity bound.
+	Maximum *float64 `json:"maximum,omitempty"`
 }
 
 // Parse decodes a schema document.
@@ -77,6 +83,11 @@ func (s *Schema) validate(doc any, path string) error {
 	if s.Minimum != nil {
 		if f, isNum := doc.(float64); isNum && f < *s.Minimum {
 			return fmt.Errorf("%s: is %v, schema requires at least %v", path, f, *s.Minimum)
+		}
+	}
+	if s.Maximum != nil {
+		if f, isNum := doc.(float64); isNum && f > *s.Maximum {
+			return fmt.Errorf("%s: is %v, schema allows at most %v", path, f, *s.Maximum)
 		}
 	}
 	if obj, ok := doc.(map[string]any); ok {

@@ -138,6 +138,77 @@ func TestMinimum(t *testing.T) {
 	}
 }
 
+func TestMaximum(t *testing.T) {
+	sch := mustParse(t, `{"type":"number","maximum":100}`)
+	if err := sch.ValidateJSON([]byte(`100`)); err != nil {
+		t.Errorf("value at maximum rejected: %v", err)
+	}
+	// Negative values pass: an overhead percentage may be below zero on
+	// a noisy host and the bound is one-sided.
+	if err := sch.ValidateJSON([]byte(`-3.5`)); err != nil {
+		t.Errorf("negative value rejected by maximum: %v", err)
+	}
+	if err := sch.ValidateJSON([]byte(`100.1`)); err == nil {
+		t.Error("value above maximum accepted")
+	} else if !strings.Contains(err.Error(), "at most 100") {
+		t.Errorf("maximum error %q does not state the bound", err)
+	}
+	// Like minimum, maximum constrains only numeric instances.
+	untyped := mustParse(t, `{"maximum":5}`)
+	if err := untyped.ValidateJSON([]byte(`"high"`)); err != nil {
+		t.Errorf("maximum applied to non-number: %v", err)
+	}
+	// Combined bounds describe a closed interval.
+	rng := mustParse(t, `{"type":"number","minimum":0,"maximum":10}`)
+	if err := rng.ValidateJSON([]byte(`7`)); err != nil {
+		t.Errorf("in-range value rejected: %v", err)
+	}
+	if err := rng.ValidateJSON([]byte(`11`)); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+// TestBenchSchemaTracerFields pins the native-obs additions to the
+// bench contract: tracer rows with event counts and a sane overhead
+// percentage validate; an absurd overhead is rejected by the schema's
+// own sanity bound. The bound (1000) is deliberately loose — it exists
+// to catch unit mistakes (a ratio or per-mille emitted as a percent),
+// not to gate the measurement: single-repeat runs on a loaded host can
+// legitimately read >100% noise, and the real ≤10% budget is enforced
+// by benchdiff -max on the committed artifact.
+func TestBenchSchemaTracerFields(t *testing.T) {
+	raw, err := os.ReadFile("../../testdata/bench.schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := jsonschema.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(overhead string) string {
+		return `{"experiment":"native-obs","title":"t","scale":"small","runs":[
+		  {"policy":"adf","procs":4,"bench":"matmul","backend":"native","wall_ms":150.5,
+		   "tracer":true,"trace_events":65000,"trace_dropped":0,"overhead_pct":` + overhead + `}]}`
+	}
+	if err := schema.ValidateJSON([]byte(row(`6.4`))); err != nil {
+		t.Errorf("tracer row rejected: %v", err)
+	}
+	if err := schema.ValidateJSON([]byte(row(`-1.2`))); err != nil {
+		t.Errorf("negative overhead (noise) rejected: %v", err)
+	}
+	if err := schema.ValidateJSON([]byte(row(`240`))); err != nil {
+		t.Errorf("noisy-but-honest overhead rejected: %v", err)
+	}
+	if err := schema.ValidateJSON([]byte(row(`2400`))); err == nil {
+		t.Error("absurd overhead_pct accepted by schema sanity bound")
+	}
+	bad := `{"experiment":"native-obs","title":"t","scale":"small","runs":[
+	  {"policy":"adf","backend":"native","trace_events":-5}]}`
+	if err := schema.ValidateJSON([]byte(bad)); err == nil {
+		t.Error("negative trace_events accepted")
+	}
+}
+
 // TestBenchSchemaPolicyEnum pins the checked-in bench-output contract:
 // every scheduler policy id the dispatch sweep emits — including the
 // order-maintenance variants "adf-treap" and "adf-ref" — must validate,

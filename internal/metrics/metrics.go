@@ -4,17 +4,20 @@
 // The design goal is zero cost when observability is detached: every
 // instrument method is nil-safe, so instrumented code resolves its
 // handles once (from a possibly-nil *Registry) and each hot-path update
-// costs a single nil check when no registry is attached. All values are
-// plain int64s mutated from the machine coordinator (or the single
-// running thread goroutine), so no locking or atomics are needed — and
-// none of the instruments ever touches virtual time, preserving the
-// simulator's determinism invariant.
+// costs a single nil check when no registry is attached. Instrument
+// updates are atomic, so the native backend's workers can hammer the
+// same counter or histogram concurrently off the scheduler lock; the
+// registry maps themselves are not locked — resolve handles before
+// going concurrent, and snapshot after workers quiesce. None of the
+// instruments ever touches virtual time, preserving the simulator's
+// determinism invariant.
 package metrics
 
 import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 )
 
 // Registry is a named collection of instruments. The zero of *Registry
@@ -57,7 +60,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	}
 	g := r.gauges[name]
 	if g == nil {
-		g = &Gauge{min: math.MaxInt64}
+		g = &Gauge{}
+		g.min.Store(math.MaxInt64)
+		g.max.Store(math.MinInt64)
 		r.gauges[name] = g
 	}
 	return g
@@ -71,15 +76,36 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	h := r.hists[name]
 	if h == nil {
-		h = &Histogram{min: math.MaxInt64}
+		h = &Histogram{}
+		h.min.Store(math.MaxInt64)
 		r.hists[name] = h
 	}
 	return h
 }
 
+// atomicMax raises a to at least v (lock-free CAS loop).
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// atomicMin lowers a to at most v.
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Counter is a monotonically increasing event count.
 type Counter struct {
-	n int64
+	n atomic.Int64
 }
 
 // Add increments the counter by d.
@@ -87,7 +113,7 @@ func (c *Counter) Add(d int64) {
 	if c == nil {
 		return
 	}
-	c.n += d
+	c.n.Add(d)
 }
 
 // Inc increments the counter by one.
@@ -98,16 +124,19 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.n
+	return c.n.Load()
 }
 
 // Gauge is an instantaneous level that also tracks its extremes, so a
 // snapshot can report e.g. the maximum placeholder-list length over a
-// run, not just the final one.
+// run, not just the final one. Concurrent Set/Add are safe; extremes
+// are maintained with CAS loops. (Under concurrent Sets the "current"
+// level is whichever write landed last, which is the only coherent
+// meaning a concurrent gauge level has.)
 type Gauge struct {
-	cur, max int64
-	min      int64
-	set      bool
+	cur, max atomic.Int64
+	min      atomic.Int64
+	set      atomic.Bool
 }
 
 // Set records the gauge's current level.
@@ -115,14 +144,10 @@ func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
 	}
-	g.cur = v
-	if !g.set || v > g.max {
-		g.max = v
-	}
-	if v < g.min {
-		g.min = v
-	}
-	g.set = true
+	g.cur.Store(v)
+	atomicMax(&g.max, v)
+	atomicMin(&g.min, v)
+	g.set.Store(true)
 }
 
 // Add moves the gauge by d.
@@ -130,7 +155,10 @@ func (g *Gauge) Add(d int64) {
 	if g == nil {
 		return
 	}
-	g.Set(g.cur + d)
+	v := g.cur.Add(d)
+	atomicMax(&g.max, v)
+	atomicMin(&g.min, v)
+	g.set.Store(true)
 }
 
 // Value returns the current level (0 for a nil gauge).
@@ -138,15 +166,15 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.cur
+	return g.cur.Load()
 }
 
 // Max returns the largest level ever set (0 if never set).
 func (g *Gauge) Max() int64 {
-	if g == nil || !g.set {
+	if g == nil || !g.set.Load() {
 		return 0
 	}
-	return g.max
+	return g.max.Load()
 }
 
 // histBuckets is the number of power-of-two histogram buckets; bucket i
@@ -154,12 +182,16 @@ func (g *Gauge) Max() int64 {
 // (bucket 0 holds v <= 0).
 const histBuckets = 64
 
-// Histogram accumulates a distribution of int64 observations (typically
-// virtual-time cycles) in power-of-two buckets.
+// Histogram accumulates a distribution of int64 observations (virtual
+// cycles on the sim, wall nanoseconds on the native backend) in
+// power-of-two buckets. Concurrent Observe is safe; each field updates
+// atomically, so a racing reader may see a momentarily torn aggregate
+// (count without its sum), which the quiesce-then-snapshot discipline
+// avoids.
 type Histogram struct {
-	count, sum int64
-	min, max   int64
-	buckets    [histBuckets]int64
+	count, sum atomic.Int64
+	min, max   atomic.Int64
+	buckets    [histBuckets]atomic.Int64
 }
 
 // Observe records one value.
@@ -167,19 +199,15 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	atomicMin(&h.min, v)
+	atomicMax(&h.max, v)
 	i := 0
 	if v > 0 {
 		i = bits.Len64(uint64(v))
 	}
-	h.buckets[i]++
+	h.buckets[i].Add(1)
 }
 
 // Count returns the number of observations (0 for nil).
@@ -187,7 +215,7 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of observations (0 for nil).
@@ -195,34 +223,35 @@ func (h *Histogram) Sum() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return h.sum.Load()
 }
 
 // Quantile returns an upper bound on the q-quantile (0 <= q <= 1),
 // resolved to the enclosing power-of-two bucket.
 func (h *Histogram) Quantile(q float64) int64 {
-	if h == nil || h.count == 0 {
+	if h == nil || h.count.Load() == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(h.count)))
+	count, max := h.count.Load(), h.max.Load()
+	target := int64(math.Ceil(q * float64(count)))
 	if target < 1 {
 		target = 1
 	}
 	var seen int64
-	for i, n := range h.buckets {
-		seen += n
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
 		if seen >= target {
 			if i == 0 {
 				return 0
 			}
 			hi := int64(1)<<uint(i) - 1
-			if hi > h.max {
-				hi = h.max
+			if hi > max {
+				hi = max
 			}
 			return hi
 		}
 	}
-	return h.max
+	return max
 }
 
 // GaugeValue is a gauge's state in a snapshot.
@@ -254,7 +283,7 @@ type Snapshot struct {
 }
 
 // Snapshot captures the registry's current state (nil for a nil
-// registry).
+// registry). Take it after concurrent writers have quiesced.
 func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return nil
@@ -263,7 +292,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]int64, len(r.counters))
 		for name, c := range r.counters {
-			s.Counters[name] = c.n
+			s.Counters[name] = c.Value()
 		}
 	}
 	if len(r.gauges) > 0 {
@@ -275,10 +304,10 @@ func (r *Registry) Snapshot() *Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistogramValue, len(r.hists))
 		for name, h := range r.hists {
-			hv := HistogramValue{Count: h.count, Sum: h.sum}
-			if h.count > 0 {
-				hv.Min, hv.Max = h.min, h.max
-				hv.Mean = float64(h.sum) / float64(h.count)
+			hv := HistogramValue{Count: h.Count(), Sum: h.Sum()}
+			if hv.Count > 0 {
+				hv.Min, hv.Max = h.min.Load(), h.max.Load()
+				hv.Mean = float64(hv.Sum) / float64(hv.Count)
 				hv.P50 = h.Quantile(0.50)
 				hv.P90 = h.Quantile(0.90)
 				hv.P99 = h.Quantile(0.99)

@@ -6,6 +6,7 @@ import (
 
 	"spthreads/internal/core"
 	"spthreads/internal/exec"
+	"spthreads/internal/trace"
 	"spthreads/internal/vtime"
 )
 
@@ -33,24 +34,30 @@ func (b *Backend) fork(t *thread, attr core.Attr, fn func(exec.Thread), dummy bo
 	// under b.mu, which orders the write ahead of every use.
 	child.tok.Order = t.tok.Order.Fork()
 	b.chargeStack(child)
-	b.mu.Lock()
+	b.tracer.record(t.pid, child.id, trace.KindCreate, t.id)
+	b.tracer.record(t.pid, child.id, trace.KindStackAlloc, child.stackSize)
+	b.lock()
 	b.admit(child)
 	child.span = t.span
 	if b.policy.OnCreate(t.tok, child.tok) {
 		// Parent preempted; this worker executes the child now.
 		t.state = core.StateReady
 		b.policy.OnReady(t.tok, t.pid)
-		b.ready++
+		b.noteReady(t)
 		b.running--
-		b.markRunning(child, t.pid)
+		at, pid := b.tracer.now(), t.pid // pid before another worker redispatches t
+		b.markRunning(child, pid)
 		b.cond.Signal() // the parent is dispatchable by another worker
 		b.mu.Unlock()
-		t.yieldPark(yieldMsg{next: child})
+		// The child's KindDispatch is recorded by resumeThread when the
+		// worker takes it from the yield message; the parent's preempt is
+		// emitted in the handoff's shadow.
+		t.yieldParkEmit(yieldMsg{next: child}, at, pid, trace.KindPreempt)
 		return child
 	}
 	// The policy placed the child in its ready structure.
 	child.state = core.StateReady
-	b.ready++
+	b.noteReady(child)
 	b.cond.Signal()
 	b.mu.Unlock()
 	return child
@@ -63,7 +70,7 @@ func (b *Backend) Join(pt exec.Thread, ptarget exec.Thread) error {
 		return fmt.Errorf("native: join with nil thread")
 	}
 	target := nt(ptarget)
-	b.mu.Lock()
+	b.lock()
 	switch {
 	case target == t:
 		b.mu.Unlock()
@@ -84,7 +91,9 @@ func (b *Backend) Join(pt exec.Thread, ptarget exec.Thread) error {
 		t.state = core.StateBlocked
 		b.policy.OnBlock(t.tok)
 		b.running--
+		at, pid := b.tracer.now(), t.pid // pid before the target's exit redispatches t
 		b.mu.Unlock()
+		b.tracer.recordAt(at, pid, t.id, trace.KindBlock, 0)
 		t.yieldPark(yieldMsg{})
 	} else {
 		b.mu.Unlock()
@@ -95,6 +104,7 @@ func (b *Backend) Join(pt exec.Thread, ptarget exec.Thread) error {
 	if target.exitedSpan > t.span {
 		t.span = target.exitedSpan
 	}
+	b.tracer.record(t.pid, t.id, trace.KindJoin, target.id)
 	return nil
 }
 
@@ -142,12 +152,14 @@ func (b *Backend) Malloc(pt exec.Thread, n int64) core.Alloc {
 	}
 	addr := b.mem.allocHeap(n)
 	b.allocTally.Add(1)
+	b.tracer.record(t.pid, t.id, trace.KindAlloc, n)
 	b.sampleSpace()
 	a := core.Alloc{Addr: addr, Size: n}
 	if b.quota > 0 {
 		t.quotaLeft -= n
 		if t.quotaLeft <= 0 {
 			b.quotaTally.Add(1)
+			b.tracer.record(t.pid, t.id, trace.KindQuotaExhausted, n)
 			b.preemptNow(t)
 		}
 	}
@@ -159,8 +171,10 @@ func (b *Backend) Free(pt exec.Thread, a core.Alloc) {
 	if a.Addr == 0 {
 		return
 	}
+	t := nt(pt)
 	b.mem.freeHeap(a.Size)
 	b.freeTally.Add(1)
+	b.tracer.record(t.pid, t.id, trace.KindFree, a.Size)
 	b.sampleSpace()
 }
 
@@ -186,11 +200,12 @@ func (b *Backend) Sleep(pt exec.Thread, d vtime.Duration) {
 		b.preemptNow(t)
 		return
 	}
-	b.mu.Lock()
+	b.lock()
 	t.state = core.StateBlocked
 	b.policy.OnBlock(t.tok)
 	b.running--
 	b.sleepers++
+	b.tracer.record(t.pid, t.id, trace.KindBlock, 0)
 	b.mu.Unlock()
 	time.AfterFunc(vToWall(d), func() { b.wakeSleeper(t) })
 	t.yieldPark(yieldMsg{})
@@ -198,7 +213,7 @@ func (b *Backend) Sleep(pt exec.Thread, d vtime.Duration) {
 
 // wakeSleeper readies a timer-parked thread.
 func (b *Backend) wakeSleeper(t *thread) {
-	b.mu.Lock()
+	b.lock()
 	b.sleepers--
 	if b.done {
 		b.mu.Unlock()
@@ -206,7 +221,8 @@ func (b *Backend) wakeSleeper(t *thread) {
 	}
 	t.state = core.StateReady
 	b.policy.OnReady(t.tok, -1)
-	b.ready++
+	b.noteReady(t)
+	b.tracer.record(-1, t.id, trace.KindWake, 0)
 	b.cond.Signal()
 	b.mu.Unlock()
 }
@@ -226,6 +242,7 @@ func (b *Backend) forkDummies(t *thread, d int) {
 		return
 	}
 	b.dummyTally.Add(int64(d))
+	b.tracer.record(t.pid, t.id, trace.KindDummyFork, int64(d))
 	b.forkDummySubtree(t, d)
 }
 

@@ -43,6 +43,7 @@ import (
 	"spthreads/internal/exec"
 	"spthreads/internal/metrics"
 	"spthreads/internal/spaceprof"
+	"spthreads/internal/trace"
 	"spthreads/internal/vtime"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	SchedBatch int
 	// Metrics, when non-nil, receives the run's instrument values.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives the run's scheduler/memory events.
+	// Workers record into per-worker lock-free rings (wall-clock-ns
+	// timestamps); the rings are merged time-sorted into the recorder
+	// when the run completes, with the recorder's unit set to wall-ns.
+	Tracer *trace.Recorder
 	// SpaceProf, when non-nil, samples the live footprint over time
 	// (timestamps are wall time converted to virtual cycles).
 	SpaceProf *spaceprof.Profiler
@@ -84,20 +90,21 @@ type Backend struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	byTok    map[*core.Thread]*thread // live threads by policy token
-	ready    int                      // threads in the policy's ready structure
-	qoutN    int                      // threads parked in worker-local batches
-	running  int                      // threads currently assigned to workers
-	sleepers int                      // threads parked on pending timers
-	idle     int                      // workers waiting in cond.Wait
-	live     int
-	peakLive int
-	created  int64
-	nextID   int64
-	maxSpan  vtime.Duration
-	err      error
-	done     bool
-	executed bool
+	byTok     map[*core.Thread]*thread // live threads by policy token
+	ready     int                      // threads in the policy's ready structure
+	qoutN     int                      // threads parked in worker-local batches
+	running   int                      // threads currently assigned to workers
+	sleepers  int                      // threads parked on pending timers
+	idle      int                      // workers waiting in cond.Wait
+	live      int
+	peakLive  int
+	created   int64
+	nextID    int64
+	maxSpan   vtime.Duration
+	err       error
+	done      bool
+	executed  bool
+	endStatus int64 // trace.RunEnd* code; guarded by b.mu
 
 	start time.Time
 
@@ -105,16 +112,25 @@ type Backend struct {
 
 	// Atomic tallies flushed into the metrics registry at stats time
 	// (these fire in thread context without the scheduler lock).
-	allocTally   atomic.Int64
-	freeTally    atomic.Int64
-	dummyTally   atomic.Int64
-	quotaTally   atomic.Int64
+	allocTally    atomic.Int64
+	freeTally     atomic.Int64
+	dummyTally    atomic.Int64
+	quotaTally    atomic.Int64
 	dispatchTally atomic.Int64
 
 	spMu      sync.Mutex // serializes SpaceProf samples
 	spaceProf *spaceprof.Profiler
 	registry  *metrics.Registry
 	liveGauge *metrics.Gauge
+
+	// Native scheduler observability (all nil-safe when detached).
+	tracer       *tracer            // nil when no Config.Tracer
+	traceRec     *trace.Recorder    // merge target at run end
+	lockWait     *metrics.Histogram // wall ns blocked acquiring b.mu
+	dispatchWait *metrics.Histogram // wall ns from ready to dispatch
+	handoff      *metrics.Histogram // wall ns a resume send waited for the parked thread
+	mutexWait    *metrics.Histogram // wall ns blocked in nativeMutex.Lock
+	readyGauge   *metrics.Gauge     // threads in the policy's ready structure
 
 	workers []*worker
 	wg      sync.WaitGroup // workers
@@ -124,8 +140,9 @@ type Backend struct {
 // worker is one processor's local state. qout is only appended/popped
 // by the owning worker, under b.mu.
 type worker struct {
-	qout  []*thread
-	stats core.ProcStats
+	qout       []*thread
+	stats      core.ProcStats
+	dispatches *metrics.Counter // per-worker dispatch count (nil-safe)
 }
 
 // New builds a native backend from cfg.
@@ -154,8 +171,17 @@ func New(cfg Config) (*Backend, error) {
 		workers:      make([]*worker, procs),
 	}
 	b.cond = sync.NewCond(&b.mu)
+	b.tracer = newTracer(cfg.Tracer, procs)
+	b.traceRec = cfg.Tracer
+	b.lockWait = cfg.Metrics.Histogram("sched.lock.wait")
+	b.dispatchWait = cfg.Metrics.Histogram("sched.dispatch.wait")
+	b.handoff = cfg.Metrics.Histogram("sched.resume.handoff")
+	b.mutexWait = cfg.Metrics.Histogram("sync.mutex.wait")
+	b.readyGauge = cfg.Metrics.Gauge("sched.ready")
 	for i := range b.workers {
-		b.workers[i] = &worker{}
+		b.workers[i] = &worker{
+			dispatches: cfg.Metrics.Counter(fmt.Sprintf("sched.dispatches.w%d", i)),
+		}
 	}
 	if cfg.SchedBatch > 1 {
 		if bn, ok := cfg.Policy.(core.BatchNexter); ok {
@@ -177,15 +203,20 @@ func (b *Backend) Execute(main func(exec.Thread)) (core.Stats, error) {
 	}
 	b.executed = true
 	b.start = time.Now()
+	if b.tracer != nil {
+		b.tracer.start = b.start
+	}
 
 	root := b.newThread(core.Attr{Name: "main"}, main)
 	root.tok.Order = core.RootDepaLabel()
 	b.chargeStack(root)
+	b.tracer.record(-1, root.id, trace.KindCreate, 0) // Arg 0: no parent
+	b.tracer.record(-1, root.id, trace.KindStackAlloc, root.stackSize)
 	b.mu.Lock()
 	b.admit(root)
 	b.policy.OnCreate(nil, root.tok)
 	root.state = core.StateReady
-	b.ready++
+	b.noteReady(root)
 	b.mu.Unlock()
 
 	b.wg.Add(b.procs)
@@ -195,6 +226,13 @@ func (b *Backend) Execute(main func(exec.Thread)) (core.Stats, error) {
 	b.wg.Wait()
 	b.poisonParked()
 	b.twg.Wait()
+	// Every worker and thread goroutine has quiesced; only stray timers
+	// may still fire, and those record nothing once b.done is set (they
+	// check under b.mu, which orders their writes before the merge).
+	b.mu.Lock()
+	b.tracer.record(-1, 0, trace.KindRunEnd, b.endStatus)
+	b.tracer.finish(b.traceRec)
+	b.mu.Unlock()
 	return b.stats(), b.err
 }
 
@@ -214,20 +252,63 @@ func (b *Backend) runWorker(pid int) {
 	}
 }
 
+// lock acquires the scheduler lock, recording how long the acquisition
+// blocked (wall ns) when a registry is attached. The uncontended fast
+// path observes 0, mirroring the sim's lock instruments, so the
+// histogram's count doubles as an acquisition count.
+func (b *Backend) lock() {
+	if b.lockWait == nil {
+		b.mu.Lock()
+		return
+	}
+	if b.mu.TryLock() {
+		b.lockWait.Observe(0)
+		return
+	}
+	t0 := time.Now()
+	b.mu.Lock()
+	b.lockWait.Observe(time.Since(t0).Nanoseconds())
+}
+
+// noteReady counts t into the ready structure, maintaining the
+// run-queue gauge and stamping the thread for dispatch-latency
+// measurement. Caller holds b.mu and has already called the policy's
+// OnCreate/OnReady.
+func (b *Backend) noteReady(t *thread) {
+	b.ready++
+	b.readyGauge.Set(int64(b.ready))
+	if b.dispatchWait != nil {
+		t.readyAt = time.Now()
+	}
+}
+
 // resumeThread hands the processor to t until t's next handoff. The
 // thread goroutine is launched lazily on first dispatch, exactly when
-// it first runs.
+// it first runs. Every resumeThread call follows exactly one
+// markRunning for t, so the KindDispatch record is issued here — after
+// the handoff, with markRunning's under-lock timestamp, while t is
+// already running on its own goroutine. The capture happens before the
+// handoff: once t runs it can block and be re-marked by another worker,
+// which rewrites dispatchAt and pid.
 func (b *Backend) resumeThread(t *thread) yieldMsg {
-	b.mu.Lock()
+	b.lock()
 	launch := !t.started
 	t.started = true
 	b.mu.Unlock()
+	at, pid, id := t.dispatchAt, t.pid, t.id
 	if launch {
 		b.twg.Add(1)
 		go t.main()
+	} else if b.handoff != nil {
+		// The resume channel is unbuffered: the send completes when the
+		// parked goroutine takes it, so this times the actual handoff.
+		t0 := time.Now()
+		t.resume <- struct{}{}
+		b.handoff.Observe(time.Since(t0).Nanoseconds())
 	} else {
 		t.resume <- struct{}{}
 	}
+	b.tracer.recordAt(at, pid, id, trace.KindDispatch, 0)
 	return <-t.yield
 }
 
@@ -235,7 +316,7 @@ func (b *Backend) resumeThread(t *thread) yieldMsg {
 // completes, or a deadlock is detected.
 func (b *Backend) next(pid int) *thread {
 	w := b.workers[pid]
-	b.mu.Lock()
+	b.lock()
 	defer b.mu.Unlock()
 	for {
 		if b.done {
@@ -254,6 +335,8 @@ func (b *Backend) next(pid int) *thread {
 				toks := b.batchNext.NextBatch(pid, b.batch)
 				if len(toks) > 0 {
 					b.ready -= len(toks)
+					b.readyGauge.Set(int64(b.ready))
+					b.tracer.record(pid, 0, trace.KindBatchRefill, int64(len(toks)))
 					for _, tok := range toks[1:] {
 						w.qout = append(w.qout, b.byTok[tok])
 						b.qoutN++
@@ -264,6 +347,7 @@ func (b *Backend) next(pid int) *thread {
 				}
 			} else if tok := b.policy.Next(pid); tok != nil {
 				b.ready--
+				b.readyGauge.Set(int64(b.ready))
 				t := b.byTok[tok]
 				b.markRunning(t, pid)
 				return t
@@ -277,7 +361,8 @@ func (b *Backend) next(pid int) *thread {
 		b.idle++
 		if b.idle == b.procs && b.running == 0 && b.sleepers == 0 &&
 			b.ready == 0 && b.qoutN == 0 {
-			b.failLocked(fmt.Errorf("native: deadlock: %d threads live, none runnable", b.live))
+			b.failLocked(fmt.Errorf("native: deadlock: %d threads live, none runnable", b.live),
+				trace.RunEndDeadlock)
 			b.idle--
 			return nil
 		}
@@ -294,44 +379,63 @@ func (b *Backend) markRunning(t *thread, pid int) {
 	t.sinceDispatch = 0
 	b.running++
 	b.workers[pid].stats.Dispatches++
+	b.workers[pid].dispatches.Inc()
 	b.dispatchTally.Add(1)
+	if b.dispatchWait != nil && !t.readyAt.IsZero() {
+		b.dispatchWait.Observe(time.Since(t.readyAt).Nanoseconds())
+		t.readyAt = time.Time{}
+	}
+	// The KindDispatch ring write is deferred to after the caller drops
+	// b.mu (runWorker or the fork fast path); only the timestamp is
+	// taken here so trace order still matches lock order.
+	t.dispatchAt = b.tracer.now()
 }
 
 // blockPrep marks t blocked in the policy. It must be called on t's own
 // goroutine, before t is registered with any waiter list, and must be
 // followed by t.yieldPark.
 func (b *Backend) blockPrep(t *thread) {
-	b.mu.Lock()
+	b.lock()
 	t.state = core.StateBlocked
 	b.policy.OnBlock(t.tok)
 	b.running--
+	at, pid := b.tracer.now(), t.pid // pid before a waker redispatches t
 	b.mu.Unlock()
+	b.tracer.recordAt(at, pid, t.id, trace.KindBlock, 0)
 }
 
 // readyThread makes a blocked thread runnable again. pid is the waking
-// processor (-1 from timers).
+// processor. Call only from thread context (a twg-tracked goroutine):
+// the deferred wake record relies on twg.Wait ordering it before the
+// run-end merge — timer wakes go through wakeSleeper, which records
+// under b.mu instead.
 func (b *Backend) readyThread(t *thread, pid int) {
-	b.mu.Lock()
-	if !b.done {
-		t.state = core.StateReady
-		b.policy.OnReady(t.tok, pid)
-		b.ready++
-		b.cond.Signal()
+	b.lock()
+	if b.done {
+		b.mu.Unlock()
+		return
 	}
+	t.state = core.StateReady
+	b.policy.OnReady(t.tok, pid)
+	b.noteReady(t)
+	at := b.tracer.now()
+	b.cond.Signal()
 	b.mu.Unlock()
+	b.tracer.recordAt(at, pid, t.id, trace.KindWake, 0)
 }
 
 // preemptNow returns the calling thread to the ready structure and
 // hands its processor back (quota exhaustion, yield, time slice).
 func (b *Backend) preemptNow(t *thread) {
-	b.mu.Lock()
+	b.lock()
 	t.state = core.StateReady
 	b.policy.OnReady(t.tok, t.pid)
-	b.ready++
+	b.noteReady(t)
 	b.running--
+	at, pid := b.tracer.now(), t.pid // pid before another worker redispatches t
 	b.cond.Signal()
 	b.mu.Unlock()
-	t.yieldPark(yieldMsg{})
+	t.yieldParkEmit(yieldMsg{}, at, pid, trace.KindPreempt)
 }
 
 // admit registers a freshly created thread. Caller holds b.mu.
@@ -345,10 +449,11 @@ func (b *Backend) admit(t *thread) {
 	b.liveGauge.Set(int64(b.live))
 }
 
-// exitThread performs exit bookkeeping on t's own goroutine.
+// exitThread performs exit bookkeeping on t's own goroutine and hands
+// the worker back (the final yield send).
 func (b *Backend) exitThread(t *thread) {
 	b.freeStack(t)
-	b.mu.Lock()
+	b.lock()
 	t.state = core.StateExited
 	t.done = true
 	t.exitedSpan = t.span
@@ -360,10 +465,12 @@ func (b *Backend) exitThread(t *thread) {
 	b.live--
 	b.running--
 	b.liveGauge.Set(int64(b.live))
-	if j := t.joiner; j != nil {
+	at, pid := b.tracer.now(), t.pid
+	j := t.joiner
+	if j != nil {
 		j.state = core.StateReady
 		b.policy.OnReady(j.tok, t.pid)
-		b.ready++
+		b.noteReady(j)
 		b.cond.Signal()
 	}
 	if b.live == 0 {
@@ -371,6 +478,15 @@ func (b *Backend) exitThread(t *thread) {
 		b.cond.Broadcast()
 	}
 	b.mu.Unlock()
+	// Hand the worker back first; the exit and joiner-wake records then
+	// land in the handoff's shadow, concurrent with the worker's next
+	// dispatch. This goroutine still emits them before its twg.Done, so
+	// the run-end merge observes them.
+	t.yield <- yieldMsg{}
+	b.tracer.recordAt(at, pid, t.id, trace.KindExit, 0)
+	if j != nil {
+		b.tracer.recordAt(at, pid, j.id, trace.KindWake, 0)
+	}
 }
 
 // newThread builds a thread without admitting it.
@@ -382,7 +498,7 @@ func (b *Backend) newThread(attr core.Attr, fn func(exec.Thread)) *thread {
 	if stack <= 0 {
 		stack = b.defaultStack
 	}
-	b.mu.Lock()
+	b.lock()
 	b.nextID++
 	id := b.nextID
 	b.mu.Unlock()
@@ -403,16 +519,17 @@ func (b *Backend) newThread(attr core.Attr, fn func(exec.Thread)) *thread {
 // recordPanic records the first user panic and stops dispatching; the
 // remaining parked threads are poisoned at shutdown.
 func (b *Backend) recordPanic(t *thread, r any) {
-	b.mu.Lock()
-	b.failLocked(fmt.Errorf("native: %s panicked: %v", t.Name(), r))
+	b.lock()
+	b.failLocked(fmt.Errorf("native: %s panicked: %v", t.Name(), r), trace.RunEndPanic)
 	b.mu.Unlock()
 }
 
-// failLocked records err (first error wins) and wakes all workers.
-// Caller holds b.mu.
-func (b *Backend) failLocked(err error) {
+// failLocked records err and the matching trace.RunEnd* status (first
+// error wins both) and wakes all workers. Caller holds b.mu.
+func (b *Backend) failLocked(err error, status int64) {
 	if b.err == nil {
 		b.err = err
+		b.endStatus = status
 	}
 	b.done = true
 	b.cond.Broadcast()
@@ -478,7 +595,7 @@ func (b *Backend) sampleSpace() {
 	if sp == nil {
 		return
 	}
-	b.mu.Lock()
+	b.lock()
 	live := b.live
 	b.mu.Unlock()
 	b.spMu.Lock()

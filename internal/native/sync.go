@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"spthreads/internal/exec"
+	"spthreads/internal/trace"
 	"spthreads/internal/vtime"
 )
 
@@ -38,20 +39,32 @@ type nativeMutex struct {
 
 func (m *nativeMutex) Lock(pt exec.Thread) {
 	t := nt(pt)
+	b := m.b
 	m.mu.Lock()
 	if m.owner == nil {
 		m.owner = t
 		m.mu.Unlock()
+		b.mutexWait.Observe(0)
+		b.tracer.record(t.pid, t.id, trace.KindLockAcquire, 0)
 		return
 	}
 	if m.owner == t {
 		panic(fmt.Sprintf("native: %s locking a mutex it already holds", t.Name()))
 	}
-	m.b.blockPrep(t)
+	var t0 time.Time
+	if b.mutexWait != nil || b.tracer != nil {
+		t0 = time.Now()
+	}
+	b.blockPrep(t)
 	m.waiters = append(m.waiters, t)
 	m.mu.Unlock()
 	t.yieldPark(yieldMsg{})
 	// Unlock transferred ownership to us before waking us.
+	if !t0.IsZero() {
+		waited := time.Since(t0).Nanoseconds()
+		b.mutexWait.Observe(waited)
+		b.tracer.record(t.pid, t.id, trace.KindLockAcquire, waited)
+	}
 }
 
 func (m *nativeMutex) TryLock(pt exec.Thread) bool {
@@ -215,13 +228,13 @@ func (b *Backend) NewCond() exec.Cond { return &nativeCond{b: b} }
 // addSleeper / removeSleeper track pending timer wake sources for
 // deadlock detection (a pending timeout means progress is possible).
 func (b *Backend) addSleeper() {
-	b.mu.Lock()
+	b.lock()
 	b.sleepers++
 	b.mu.Unlock()
 }
 
 func (b *Backend) removeSleeper() {
-	b.mu.Lock()
+	b.lock()
 	b.sleepers--
 	b.mu.Unlock()
 }

@@ -2,9 +2,11 @@ package native
 
 import (
 	"fmt"
+	"time"
 
 	"spthreads/internal/core"
 	"spthreads/internal/exec"
+	"spthreads/internal/trace"
 	"spthreads/internal/vtime"
 )
 
@@ -27,6 +29,17 @@ type thread struct {
 
 	state core.State // guarded by b.mu
 	pid   int        // worker currently (or last) running this thread
+
+	// readyAt stamps the last transition into the ready structure, for
+	// the dispatch-latency histogram (guarded by b.mu; zero when a
+	// registry is not attached or the thread is not ready).
+	readyAt time.Time
+
+	// dispatchAt is the tracer timestamp captured by markRunning under
+	// b.mu; the dispatching worker issues the KindDispatch ring write
+	// after unlocking. Stable between markRunning and the resume because
+	// the thread belongs to exactly one worker then.
+	dispatchAt vtime.Time
 
 	// Accounting written only in thread context while running.
 	quotaLeft     int64
@@ -99,8 +112,7 @@ func (t *thread) main() {
 		default:
 			t.b.recordPanic(t, r)
 		}
-		t.b.exitThread(t)
-		t.yield <- yieldMsg{}
+		t.b.exitThread(t) // bookkeeping + the final yield send
 	}()
 	t.fn(t)
 }
@@ -110,6 +122,21 @@ func (t *thread) main() {
 // bookkeeping for the handoff is done.
 func (t *thread) yieldPark(msg yieldMsg) {
 	t.yield <- msg
+	<-t.resume
+	if t.poison {
+		panic(threadAbort{})
+	}
+}
+
+// yieldParkEmit is yieldPark with one tracer event emitted in the
+// handoff's shadow: the worker takes over at the yield send, so the
+// ring write that follows runs concurrently with the successor instead
+// of delaying it. Event values are explicit arguments (a closure would
+// allocate); the write still precedes this goroutine's park, and hence
+// the run-end merge.
+func (t *thread) yieldParkEmit(msg yieldMsg, at vtime.Time, pid int, kind trace.Kind) {
+	t.yield <- msg
+	t.b.tracer.recordAt(at, pid, t.id, kind, 0)
 	<-t.resume
 	if t.poison {
 		panic(threadAbort{})

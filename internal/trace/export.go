@@ -18,10 +18,13 @@ import (
 //     on one track per virtual processor; lifecycle and memory events
 //     become instant ("i") events; attached counter curves (e.g. the
 //     space profiler's) become counter ("C") events.
-//   - JSONL: one JSON object per event, for streaming consumers.
+//   - JSONL: one JSON object per event, for streaming consumers, led by
+//     a header object declaring the time base.
 //
-// Timestamps are virtual microseconds (the trace-event format's ts
-// unit); the cycle-exact value is preserved in each event's args.
+// Chrome timestamps are real microseconds (the trace-event format's ts
+// unit), scaled from the recorder's declared TimeUnit — virtual cycles
+// for the simulator, wall nanoseconds for the native backend; the
+// tick-exact value is preserved in each event's args.
 
 // CounterSample is one point of a named counter curve attached to a
 // Chrome export — for example the space profiler's heap/stack series.
@@ -57,8 +60,6 @@ type chromeTrace struct {
 // trace).
 const machinePID = 0
 
-func us(t vtime.Time) float64 { return vtime.Duration(t).Microseconds() }
-
 // WriteChrome writes the trace as Chrome trace-event JSON. procs sizes
 // the per-processor tracks (events on proc -1 — coordinator-side wakes
 // and the root create — land on an extra "machine" track). counters may
@@ -70,6 +71,13 @@ func (r *Recorder) WriteChrome(w io.Writer, procs int, counters []CounterSample)
 			return machineTID
 		}
 		return proc
+	}
+	// Timestamps scale to real microseconds from whichever base the
+	// recorder declares (virtual cycles or wall nanoseconds).
+	us := func(t vtime.Time) float64 { return r.unit.Microseconds(int64(t)) }
+	tsKey, blockedKey := "cycles", "blocked_cycles"
+	if r.unit == UnitWallNS {
+		tsKey, blockedKey = "ns", "blocked_ns"
 	}
 
 	var evs []chromeEvent
@@ -105,16 +113,18 @@ func (r *Recorder) WriteChrome(w io.Writer, procs int, counters []CounterSample)
 		if e.Kind == KindDispatch {
 			continue // already represented by the slices
 		}
-		args := map[string]any{"thread": e.Thread, "cycles": int64(e.At)}
+		args := map[string]any{"thread": e.Thread, tsKey: int64(e.At)}
 		switch e.Kind {
 		case KindAlloc, KindFree, KindQuotaExhausted, KindStackAlloc:
 			args["bytes"] = e.Arg
 		case KindDummyFork:
 			args["dummies"] = e.Arg
 		case KindLockAcquire:
-			args["blocked_cycles"] = e.Arg
+			args[blockedKey] = e.Arg
 		case KindBatchRefill:
 			args["moved"] = e.Arg
+		case KindRunEnd:
+			args["status"] = e.Arg
 		case KindCreate:
 			args["parent"] = e.Arg
 		case KindJoin:
@@ -162,8 +172,9 @@ func (r *Recorder) WriteChrome(w io.Writer, procs int, counters []CounterSample)
 		TraceEvents:     evs,
 		DisplayTimeUnit: "ms",
 		OtherData: map[string]string{
-			"clock":   "virtual (167 cycles/us)",
-			"dropped": fmt.Sprintf("%d", r.dropped),
+			"clock":    r.unit.clockLabel(),
+			"timeUnit": r.unit.String(),
+			"dropped":  fmt.Sprintf("%d", r.dropped),
 		},
 	}
 	enc := json.NewEncoder(w)
@@ -191,11 +202,22 @@ type jsonlEvent struct {
 	Arg    int64  `json:"arg,omitempty"`
 }
 
-// WriteJSONL writes one JSON object per recorded event, in record
-// order. ts is in virtual cycles.
+// jsonlHeader is the optional first line of a JSONL stream, declaring
+// the time base of every ts that follows. Streams without it (written
+// before the native backend existed) are virtual cycles.
+type jsonlHeader struct {
+	Unit string `json:"unit"`
+}
+
+// WriteJSONL writes a header line declaring the time base, then one
+// JSON object per recorded event in record order. ts is in the
+// recorder's unit: virtual cycles or wall nanoseconds.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Unit: r.unit.String()}); err != nil {
+		return err
+	}
 	for _, e := range r.events {
 		je := jsonlEvent{
 			TS:     int64(e.At),

@@ -126,9 +126,16 @@ func TestJSONLExport(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("jsonl has %d lines, want 3", len(lines))
+	if len(lines) != 4 {
+		t.Fatalf("jsonl has %d lines, want 4 (header + 3 events)", len(lines))
 	}
+	var hdr struct {
+		Unit string `json:"unit"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Unit != "cycles" {
+		t.Fatalf("header line = %q (err %v), want unit cycles", lines[0], err)
+	}
+	lines = lines[1:]
 	type row struct {
 		TS     int64  `json:"ts"`
 		Proc   int    `json:"proc"`

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"sync/atomic"
+
+	"spthreads/internal/vtime"
+)
+
+// Ring is a fixed-capacity, lock-free event buffer for the native
+// backend's hot paths. Each worker owns one ring, so appends are
+// usually single-producer, but the cursor is an atomic reservation so
+// occasional off-worker appends (timer goroutines, coordinator-side
+// wakes routed to the shared machine ring) stay safe without a lock.
+//
+// The slot array is allocated once at construction; Record never
+// allocates. When the ring fills, further events are dropped (newest
+// lost) and counted — analysis prefers an honest gap over a hot path
+// that blocks or allocates.
+type Ring struct {
+	slots   []Event
+	pos     atomic.Int64
+	dropped atomic.Int64
+	// _pad rounds the struct up to one 64-byte cache line: workers bump
+	// their own ring's cursor on every event, and two cursors sharing a
+	// line would ping-pong it between cores.
+	_pad [24]byte
+}
+
+const defaultRingCap = 1 << 16
+
+// NewRing creates a ring holding up to capacity events (0 selects
+// 1<<16).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = defaultRingCap
+	}
+	return &Ring{slots: make([]Event, capacity)}
+}
+
+// NewRings creates n rings of capEach slots (0 selects 1<<16 each),
+// carved out of a single backing allocation. The native backend builds
+// one ring per worker at run start; one slab instead of n keeps the
+// allocator/GC traffic the tracer adds to a short run at a minimum.
+func NewRings(n, capEach int) []*Ring {
+	if capEach <= 0 {
+		capEach = defaultRingCap
+	}
+	slab := make([]Event, n*capEach)
+	rings := make([]*Ring, n)
+	for i := range rings {
+		rings[i] = &Ring{slots: slab[i*capEach : (i+1)*capEach : (i+1)*capEach]}
+	}
+	return rings
+}
+
+// Record appends one event. It is allocation-free and wait-free: one
+// atomic add reserves a slot; a full ring counts the drop and returns.
+func (g *Ring) Record(at vtime.Time, proc int, thread int64, kind Kind, arg int64) {
+	i := g.pos.Add(1) - 1
+	if i >= int64(len(g.slots)) {
+		g.dropped.Add(1)
+		return
+	}
+	g.slots[i] = Event{At: at, Proc: proc, Thread: thread, Kind: kind, Arg: arg}
+}
+
+// Events returns the recorded events in append order. Only call after
+// all producers have quiesced (the native backend merges rings after
+// every worker has exited).
+func (g *Ring) Events() []Event {
+	n := g.pos.Load()
+	if n > int64(len(g.slots)) {
+		n = int64(len(g.slots))
+	}
+	return g.slots[:n]
+}
+
+// Dropped reports how many events arrived after the ring filled.
+func (g *Ring) Dropped() int64 { return g.dropped.Load() }

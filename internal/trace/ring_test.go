@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+
+	"spthreads/internal/vtime"
+	"testing"
+)
+
+// TestRingRecordAllocationFree: the native hot path must not allocate
+// per event (acceptance criterion for the ring tracer).
+func TestRingRecordAllocationFree(t *testing.T) {
+	g := NewRing(1 << 12)
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.Record(42, 0, 7, KindDispatch, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestRingDropCounting: a full ring drops the newest events and counts
+// every one of them; recorded events survive untouched.
+func TestRingDropCounting(t *testing.T) {
+	g := NewRing(4)
+	for i := 0; i < 10; i++ {
+		g.Record(vtime.Time(i), 0, int64(i), KindCreate, 0)
+	}
+	if got := len(g.Events()); got != 4 {
+		t.Fatalf("events = %d, want 4", got)
+	}
+	if got := g.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	for i, e := range g.Events() {
+		if e.Thread != int64(i) {
+			t.Errorf("slot %d holds thread %d, want %d (oldest kept)", i, e.Thread, i)
+		}
+	}
+}
+
+// TestRingConcurrentRecord: the atomic cursor keeps concurrent
+// producers safe — every recorded or dropped event is accounted for
+// exactly once (run under -race in CI).
+func TestRingConcurrentRecord(t *testing.T) {
+	const producers, each = 8, 1000
+	g := NewRing(producers * each / 2) // force drops
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				g.Record(vtime.Time(i), p, int64(p*each+i), KindWake, 0)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := int64(len(g.Events())) + g.Dropped(); got != producers*each {
+		t.Fatalf("recorded+dropped = %d, want %d", got, producers*each)
+	}
+	seen := make(map[int64]bool)
+	for _, e := range g.Events() {
+		if seen[e.Thread] {
+			t.Fatalf("thread %d recorded twice: slot reservation raced", e.Thread)
+		}
+		seen[e.Thread] = true
+	}
+}
+
+// TestIngestMergesSorted: Ingest concatenates rings, sorts by
+// timestamp (stable), declares the unit, and folds drop counts.
+func TestIngestMergesSorted(t *testing.T) {
+	a, b := NewRing(8), NewRing(2)
+	a.Record(30, 0, 1, KindDispatch, 0)
+	a.Record(10, 0, 1, KindCreate, 0)
+	b.Record(20, 1, 2, KindCreate, 0)
+	b.Record(40, 1, 2, KindExit, 0)
+	b.Record(50, 1, 2, KindExit, 0) // dropped: ring b is full
+
+	rec := NewRecorder(16)
+	rec.Ingest(UnitWallNS, a, nil, b)
+	if rec.Unit() != UnitWallNS {
+		t.Fatalf("unit = %v, want wall-ns", rec.Unit())
+	}
+	if rec.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1 (from ring b)", rec.Dropped())
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events not time-sorted: %v", evs)
+		}
+	}
+}
+
+// TestIngestRespectsRecorderCap: events past the recorder cap are
+// dropped and counted rather than silently truncated.
+func TestIngestRespectsRecorderCap(t *testing.T) {
+	g := NewRing(8)
+	for i := 0; i < 6; i++ {
+		g.Record(vtime.Time(i), 0, int64(i), KindWake, 0)
+	}
+	rec := NewRecorder(4)
+	rec.Ingest(UnitWallNS, g)
+	if len(rec.Events()) != 4 || rec.Dropped() != 2 {
+		t.Fatalf("events=%d dropped=%d, want 4/2", len(rec.Events()), rec.Dropped())
+	}
+}
+
+// TestTimeUnitScaling: both units convert to Chrome microseconds and
+// format durations correctly; the cycles formatting matches vtime's.
+func TestTimeUnitScaling(t *testing.T) {
+	if got := UnitCycles.Microseconds(167); got != 1 {
+		t.Errorf("167 cycles = %v us, want 1", got)
+	}
+	if got := UnitWallNS.Microseconds(2500); got != 2.5 {
+		t.Errorf("2500 ns = %v us, want 2.5", got)
+	}
+	if got := UnitWallNS.FormatDuration(1500); got != "1.5us" {
+		t.Errorf("1500 ns formats as %q", got)
+	}
+	if got := UnitCycles.FormatDuration(167 * 2000); got != "2.000ms" {
+		t.Errorf("334000 cycles formats as %q", got)
+	}
+	for _, u := range []TimeUnit{UnitCycles, UnitWallNS} {
+		back, err := ParseTimeUnit(u.String())
+		if err != nil || back != u {
+			t.Errorf("ParseTimeUnit(%q) = %v, %v", u.String(), back, err)
+		}
+	}
+	if _, err := ParseTimeUnit("fortnights"); err == nil {
+		t.Error("ParseTimeUnit accepted an unknown unit")
+	}
+}
+
+// TestJSONLWallRoundTrip: a wall-ns trace round-trips through the JSONL
+// writer and reader with its unit and run-end terminator intact.
+func TestJSONLWallRoundTrip(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.SetUnit(UnitWallNS)
+	rec.RecordArg(0, -1, 1, KindCreate, 0)
+	rec.RecordArg(1200, 0, 1, KindDispatch, 0)
+	rec.RecordArg(9800, 0, 1, KindExit, 0)
+	rec.RecordArg(10000, -1, 0, KindRunEnd, RunEndClean)
+
+	var buf strings.Builder
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Unit() != UnitWallNS {
+		t.Fatalf("unit after round trip = %v, want wall-ns", got.Unit())
+	}
+	if len(got.Events()) != 4 {
+		t.Fatalf("events = %d, want 4", len(got.Events()))
+	}
+	last := got.Events()[3]
+	if last.Kind != KindRunEnd || last.Arg != RunEndClean {
+		t.Fatalf("terminator = %+v, want clean run-end", last)
+	}
+}
+
+// TestReadJSONLHeaderless: pre-header streams still read as cycles.
+func TestReadJSONLHeaderless(t *testing.T) {
+	in := `{"ts":5,"proc":0,"thread":1,"kind":"create"}` + "\n"
+	rec, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Unit() != UnitCycles {
+		t.Fatalf("unit = %v, want cycles", rec.Unit())
+	}
+	if len(rec.Events()) != 1 {
+		t.Fatalf("events = %d, want 1", len(rec.Events()))
+	}
+}
+
+// TestChromeExportWallUnit: wall-ns traces export with ns-scaled ts and
+// ns-named arg keys, and the metadata declares the unit.
+func TestChromeExportWallUnit(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.SetUnit(UnitWallNS)
+	rec.RecordArg(2000, 0, 1, KindCreate, 0)
+	rec.RecordArg(3000, 0, 1, KindLockAcquire, 500)
+
+	var buf strings.Builder
+	if err := rec.WriteChrome(&buf, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.OtherData["timeUnit"] != "wall-ns" {
+		t.Errorf("otherData.timeUnit = %q", f.OtherData["timeUnit"])
+	}
+	for _, e := range f.TraceEvents {
+		if e["ph"] == "M" {
+			continue
+		}
+		name, _ := e["name"].(string)
+		ts, _ := e["ts"].(float64)
+		args, _ := e["args"].(map[string]any)
+		switch name {
+		case "create":
+			if ts != 2.0 {
+				t.Errorf("create ts = %v us, want 2 (2000 ns)", ts)
+			}
+			if args["ns"] != 2000.0 {
+				t.Errorf("create args = %v, want ns key", args)
+			}
+		case "lock-acquire":
+			if args["blocked_ns"] != 500.0 {
+				t.Errorf("lock-acquire args = %v, want blocked_ns", args)
+			}
+		}
+	}
+}

@@ -7,7 +7,9 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -56,6 +58,20 @@ const (
 	// ran for, Arg is the number of threads moved into Q_outs. The event
 	// carries no thread (Thread is 0) — per-thread analyzers must skip it.
 	KindBatchRefill
+	// KindRunEnd is the terminal machine-level event the native backend
+	// emits exactly once per run: Arg is 0 for a clean finish, 1 when the
+	// run died of detected deadlock, 2 when it died of a propagated
+	// panic. Its presence distinguishes a complete trace from one
+	// truncated by a hang or a kill; like KindBatchRefill it carries no
+	// thread and per-thread analyzers must skip it.
+	KindRunEnd
+)
+
+// RunEnd status codes (KindRunEnd's Arg payload).
+const (
+	RunEndClean    = 0
+	RunEndDeadlock = 1
+	RunEndPanic    = 2
 )
 
 // String returns the kind's name.
@@ -89,6 +105,8 @@ func (k Kind) String() string {
 		return "stack-alloc"
 	case KindBatchRefill:
 		return "batch-refill"
+	case KindRunEnd:
+		return "run-end"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -113,6 +131,7 @@ type Recorder struct {
 	cap     int
 	events  []Event
 	dropped int64
+	unit    TimeUnit
 }
 
 // NewRecorder creates a recorder holding up to capacity events
@@ -144,6 +163,76 @@ func (r *Recorder) Events() []Event { return r.events }
 
 // Dropped reports how many events exceeded the capacity.
 func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Cap returns the recorder's event capacity.
+func (r *Recorder) Cap() int { return r.cap }
+
+// Unit reports the time base of the recorded timestamps. The zero
+// value is UnitCycles — every recorder fed by the simulator keeps it.
+func (r *Recorder) Unit() TimeUnit { return r.unit }
+
+// SetUnit declares the time base of the recorder's timestamps.
+func (r *Recorder) SetUnit(u TimeUnit) { r.unit = u }
+
+// Ingest merges events from per-worker rings into the recorder,
+// time-sorted (stable, so same-timestamp events keep their ring-local
+// order), sets the declared time base, and folds in ring drop counts.
+// Events past the recorder's own cap are dropped and counted too. Call
+// only after every producer has quiesced.
+func (r *Recorder) Ingest(unit TimeUnit, rings ...*Ring) {
+	r.unit = unit
+	// Each ring is already time-ordered in the common case (one worker
+	// records sequentially into its own ring), so a k-way merge costs
+	// O(n·k) integer compares instead of a full O(n log n) sort — the
+	// merge runs inside the traced run's wall time, so it is the
+	// tracer-overhead hot spot. Rings written by concurrent producers
+	// (the machine ring's timers) can be locally out of order; those are
+	// sorted first, stably, preserving slot order among equal stamps.
+	heads := make([][]Event, 0, len(rings))
+	total := 0
+	for _, g := range rings {
+		if g == nil {
+			continue
+		}
+		r.dropped += g.Dropped()
+		evs := g.Events()
+		if len(evs) == 0 {
+			continue
+		}
+		if !slices.IsSortedFunc(evs, func(a, b Event) int { return cmp.Compare(a.At, b.At) }) {
+			slices.SortStableFunc(evs, func(a, b Event) int { return cmp.Compare(a.At, b.At) })
+		}
+		heads = append(heads, evs)
+		total += len(evs)
+	}
+	// Reserve the exact merged size up front: growing through append's
+	// doubling would copy the event slice several times over, inside the
+	// traced run's wall time.
+	want := len(r.events) + total
+	if want > r.cap {
+		want = r.cap
+	}
+	if want > cap(r.events) {
+		grown := make([]Event, len(r.events), want)
+		copy(grown, r.events)
+		r.events = grown
+	}
+	for ; total > 0; total-- {
+		best := -1
+		for i, h := range heads {
+			if len(h) > 0 && (best < 0 || h[0].At < heads[best][0].At) {
+				best = i
+			}
+		}
+		e := heads[best][0]
+		heads[best] = heads[best][1:]
+		if len(r.events) >= r.cap {
+			r.dropped++
+			continue
+		}
+		r.events = append(r.events, e)
+	}
+}
 
 // End returns the timestamp of the last recorded event (the trace's
 // horizon), or 0 for an empty trace.
@@ -232,7 +321,7 @@ func (r *Recorder) Gantt(procs int, width int) string {
 
 	const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
 	var b strings.Builder
-	fmt.Fprintf(&b, "gantt: %d buckets of %s each\n", width, vtime.Duration(bucket))
+	fmt.Fprintf(&b, "gantt: %d buckets of %s each\n", width, r.unit.FormatDuration(int64(bucket)))
 	for p := 0; p < procs; p++ {
 		row := make([]byte, width)
 		for i := range row {
@@ -313,8 +402,8 @@ func (r *Recorder) Summary() []ThreadStats {
 		return s
 	}
 	for _, e := range r.events {
-		if e.Kind == KindBatchRefill {
-			continue // machine-level event: carries no thread
+		if e.Kind == KindBatchRefill || e.Kind == KindRunEnd {
+			continue // machine-level events: carry no thread
 		}
 		s := get(e.Thread)
 		switch e.Kind {

@@ -54,11 +54,24 @@ func TestBatchOfOneDegeneratesToDirect(t *testing.T) {
 	}
 }
 
-func TestRejectNativeRecorders(t *testing.T) {
-	cfg := pthread.Config{Backend: pthread.BackendNative, Tracer: pthread.NewTraceRecorder(1 << 10)}
-	mustReject(t, cfg, "deterministic sim backend")
-	cfg = pthread.Config{Backend: pthread.BackendNative, DAG: pthread.NewDAGBuilder()}
-	mustReject(t, cfg, "deterministic sim backend")
+func TestRejectNativeDAG(t *testing.T) {
+	// The DAG recorder stays sim-only; the error must name the
+	// alternative (trace the run, analyze offline).
+	cfg := pthread.Config{Backend: pthread.BackendNative, DAG: pthread.NewDAGBuilder()}
+	mustReject(t, cfg, "run with Tracer and feed the trace to ptanalyze")
+}
+
+func TestNativeTracerAccepted(t *testing.T) {
+	// Lifting the old blanket rejection: a native run with a Tracer
+	// attached records a wall-ns event stream ending in a clean run-end.
+	rec := pthread.NewTraceRecorder(1 << 16)
+	cfg := pthread.Config{Backend: pthread.BackendNative, Procs: 2, Tracer: rec}
+	if _, err := pthread.Run(cfg, func(t *pthread.T) { t.Charge(100) }); err != nil {
+		t.Fatalf("native run with Tracer rejected: %v", err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("no events recorded")
+	}
 }
 
 func TestEmptyConfigDefaults(t *testing.T) {

@@ -83,7 +83,9 @@ const (
 	BackendSim Backend = "sim"
 	// BackendNative runs lightweight threads as real goroutines on
 	// worker goroutines, with wall-clock timing. Runs are not
-	// deterministic and the trace/DAG recorders are unavailable.
+	// deterministic; Tracer is supported (wall-ns timestamps via
+	// per-worker event rings), the DAG recorder is not — analyze the
+	// recorded trace with ptanalyze instead.
 	BackendNative Backend = "native"
 )
 
@@ -174,12 +176,16 @@ type Config struct {
 	// exactly.
 	SchedBatch int
 	// Tracer, when non-nil, records scheduler events for later
-	// inspection (Gantt charts, per-thread summaries) without
-	// affecting virtual time. Sim backend only.
+	// inspection (Gantt charts, per-thread summaries, pttrace exports,
+	// ptanalyze). On the sim backend timestamps are virtual cycles and
+	// recording does not affect virtual time; on the native backend
+	// workers record into per-worker lock-free rings with wall-clock-ns
+	// timestamps, merged into the recorder (unit wall-ns) at run end.
 	Tracer *trace.Recorder
 	// DAG, when non-nil, records the computation graph for offline
 	// analysis (work, span, serial space S1, DOT export); attach a
-	// *dag.Builder from NewDAGBuilder. Sim backend only.
+	// *dag.Builder from NewDAGBuilder. Sim backend only: on the native
+	// backend, run with Tracer and feed the trace to ptanalyze.
 	DAG *dag.Builder
 	// Metrics, when non-nil, collects scheduler/memory instruments
 	// (dispatch latencies, lock waits, quota preemptions, ADF
@@ -257,8 +263,8 @@ func newBackend(cfg Config) (exec.Backend, error) {
 		}
 		return exec.NewSim(ccfg)
 	case BackendNative:
-		if cfg.Tracer != nil || cfg.DAG != nil {
-			return nil, fmt.Errorf("pthread: the trace and DAG recorders need the deterministic sim backend")
+		if cfg.DAG != nil {
+			return nil, fmt.Errorf("pthread: the DAG recorder needs the deterministic sim backend; run with Tracer and feed the trace to ptanalyze")
 		}
 		batch := 0
 		if cfg.SchedMode == core.SchedVolunteer || cfg.SchedMode == core.SchedDedicated {
@@ -273,6 +279,7 @@ func newBackend(cfg Config) (exec.Backend, error) {
 			DefaultStack: cfg.DefaultStack,
 			SchedBatch:   batch,
 			Metrics:      cfg.Metrics,
+			Tracer:       cfg.Tracer,
 			SpaceProf:    cfg.SpaceProf,
 		})
 	default:
