@@ -67,6 +67,7 @@ type benchRun struct {
 	Batch       int     `json:"batch"`
 	Backend     string  `json:"backend"`
 	Tracer      bool    `json:"tracer"`
+	Sampler     bool    `json:"sampler"`
 	LiveThreads  int     `json:"live_threads"`
 	TimeCycles   float64 `json:"time_cycles"`
 	WallMS       float64 `json:"wall_ms"`
@@ -77,6 +78,8 @@ type benchRun struct {
 	NSDispatch   float64 `json:"ns_per_dispatch"`
 	VOpsDispatch float64 `json:"vops_per_dispatch"`
 	OverheadPct  float64 `json:"overhead_pct"`
+	TraceDropped float64 `json:"trace_dropped"`
+	SamplerOverheadPct float64 `json:"sampler_overhead_pct"`
 	Metrics     *struct {
 		Histograms map[string]struct {
 			Count float64 `json:"count"`
@@ -113,6 +116,13 @@ var metrics = []metric{
 	// overhead percentages is noise, hence report-only here. Negative
 	// values (measurement noise on an effectively free tracer) are valid.
 	{"overhead_pct", false, true, func(r benchRun) (float64, bool) { return r.OverheadPct, r.Tracer }},
+	// Sampler overhead follows the same pattern: a same-host wall-time
+	// ratio gated by -max, noise as a cross-file delta.
+	{"sampler_overhead_pct", false, true, func(r benchRun) (float64, bool) { return r.SamplerOverheadPct, r.Sampler }},
+	// Dropped trace events on any traced row. Zero is the expected value
+	// (presence of the tracer, not positivity, gates it), so a -max
+	// ceiling of 0 fails the moment a live-obs row starts dropping.
+	{"trace_dropped", false, true, func(r benchRun) (float64, bool) { return r.TraceDropped, r.Tracer }},
 	{"analysis.work_cycles", false, false, func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Work })
 	}},
@@ -156,6 +166,9 @@ func key(r benchRun) string {
 	}
 	if r.Tracer {
 		k += "|tracer"
+	}
+	if r.Sampler {
+		k += "|sampler"
 	}
 	return k
 }

@@ -406,3 +406,71 @@ func TestOverheadPctReportOnlyRelative(t *testing.T) {
 		t.Fatalf("run = %d, want 0 (overhead_pct relative delta is report-only)\nstdout: %s", code, out.String())
 	}
 }
+
+// liveObsBench builds a live-obs style file: an unsampled and a sampled
+// arm of the same bench, the sampled row carrying sampler_overhead_pct
+// and trace_dropped.
+func liveObsBench(ovhPct, dropped float64) string {
+	return fmt.Sprintf(`{
+  "experiment": "live-obs",
+  "runs": [
+    {"policy": "adf", "procs": 4, "bench": "dtree", "backend": "native", "wall_ms": 600,
+     "tracer": true, "trace_events": 190000},
+    {"policy": "adf", "procs": 4, "bench": "dtree", "backend": "native", "wall_ms": 620,
+     "tracer": true, "sampler": true, "samples": 22, "trace_events": 190000,
+     "trace_dropped": %g, "sampler_overhead_pct": %g}
+  ]
+}`, dropped, ovhPct)
+}
+
+// TestSamplerRowsDistinctKeys: sampler-on and sampler-off arms of the
+// same bench are separate runs, not a key collision.
+func TestSamplerRowsDistinctKeys(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", liveObsBench(5, 0)), writeJSON(t, "new.json", liveObsBench(6, 0))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "only in") {
+		t.Errorf("sampler rows collided or went unmatched:\n%s", out.String())
+	}
+}
+
+// TestSamplerOverheadCeiling: -max sampler_overhead_pct gates the
+// sampled arm like overhead_pct gates the traced arm.
+func TestSamplerOverheadCeiling(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-max", "sampler_overhead_pct=10",
+		writeJSON(t, "old.json", liveObsBench(5, 0)), writeJSON(t, "new.json", liveObsBench(14.5, 0))}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (14.5%% over a 10%% ceiling)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "sampler_overhead_pct") || !strings.Contains(out.String(), "EXCEEDED") {
+		t.Errorf("ceiling violation not named:\n%s", out.String())
+	}
+}
+
+// TestTraceDroppedZeroCeiling: a live-obs row going from zero drops to
+// any drops fails -max trace_dropped=0 — the drain's zero-loss
+// guarantee is part of the gate, and -max (unlike the relative
+// threshold) applies to native rows.
+func TestTraceDroppedZeroCeiling(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-max", "trace_dropped=0",
+		writeJSON(t, "old.json", liveObsBench(5, 0)), writeJSON(t, "new.json", liveObsBench(5, 0))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 with zero drops\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-max", "trace_dropped=0",
+		writeJSON(t, "old.json", liveObsBench(5, 0)), writeJSON(t, "new.json", liveObsBench(5, 283))}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (283 drops over a 0 ceiling)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "trace_dropped") || !strings.Contains(out.String(), "EXCEEDED") {
+		t.Errorf("drop violation not named:\n%s", out.String())
+	}
+}

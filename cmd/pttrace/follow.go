@@ -1,0 +1,154 @@
+package main
+
+// pttrace -follow: tail a streaming JSONL trace while the run that
+// produces it is still going. The source is either an http(s):// URL —
+// typically a live debug endpoint's /trace?follow=1 feed — or the path
+// of a file that may still be growing (a redirected stream). The tail
+// prints machine-level landmarks (envelope crossings, the terminal
+// run-end) as they arrive and a final per-kind summary.
+//
+// Exit status mirrors the offline reader's contract: 0 when the stream
+// ends in a clean run-end, 1 when the run-end reports deadlock or
+// panic (the run itself failed), 2 when the stream ends — or, for
+// files, stalls past the idle window — without any run-end: a
+// truncated trace.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"spthreads/internal/trace"
+)
+
+// followIdle is how long a followed file may go without growing before
+// the tail declares it truncated (a variable so tests shorten it). An
+// HTTP feed needs no idle cutoff: the server holds the stream open
+// until the run ends, so EOF itself is the signal.
+var followIdle = 5 * time.Second
+
+// runFollow tails src until a run-end event, the stream's end, or (for
+// files) an idle window with no growth.
+func runFollow(src string, stdout, stderr io.Writer) int {
+	var r io.ReadCloser
+	streaming := strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://")
+	if streaming {
+		resp, err := http.Get(src)
+		if err != nil {
+			fmt.Fprintf(stderr, "pttrace: %v\n", err)
+			return 1
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			fmt.Fprintf(stderr, "pttrace: %s: %s: %s\n", src, resp.Status, bytes.TrimSpace(body))
+			return 1
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			fmt.Fprintf(stderr, "pttrace: %v\n", err)
+			return 1
+		}
+		r = f
+	}
+	defer r.Close()
+	return followStream(r, src, streaming, stdout, stderr)
+}
+
+// followStream drives the line loop. For a plain file, EOF means "no
+// more data yet": the reader polls for growth and only gives up after
+// followIdle without a new byte.
+func followStream(r io.Reader, src string, streaming bool, stdout, stderr io.Writer) int {
+	fmt.Fprintf(stdout, "following %s\n", src)
+	br := bufio.NewReader(r)
+	var fol trace.JSONLFollower
+	var partial []byte
+	kinds := make(map[trace.Kind]int64)
+	total := int64(0)
+	announcedUnit := false
+	idleSince := time.Now()
+	for {
+		chunk, err := br.ReadBytes('\n')
+		if len(chunk) > 0 {
+			idleSince = time.Now()
+		}
+		if err == nil || len(chunk) > 0 && chunk[len(chunk)-1] == '\n' {
+			line := append(partial, bytes.TrimRight(chunk, "\n")...)
+			partial = nil
+			e, ok, perr := fol.Line(line)
+			if perr != nil {
+				fmt.Fprintf(stderr, "pttrace: %s: %v\n", src, perr)
+				return 2
+			}
+			if !announcedUnit && fol.Unit() == trace.UnitWallNS {
+				fmt.Fprintf(stdout, "  time unit: %s\n", fol.Unit())
+				announcedUnit = true
+			}
+			if !ok {
+				continue
+			}
+			total++
+			kinds[e.Kind]++
+			switch e.Kind {
+			case trace.KindEnvelopeCross:
+				fmt.Fprintf(stdout, "  envelope crossed at %s: footprint %d B\n",
+					fol.Unit().FormatDuration(int64(e.At)), e.Arg)
+			case trace.KindRunEnd:
+				return finishFollow(e, total, kinds, stdout, stderr)
+			}
+			continue
+		}
+		// No complete line. Stash the partial tail and decide whether the
+		// stream can still grow.
+		partial = append(partial, chunk...)
+		if err != io.EOF {
+			fmt.Fprintf(stderr, "pttrace: %s: %v\n", src, err)
+			return 1
+		}
+		if streaming {
+			// The server closed the feed without a run-end.
+			fmt.Fprintf(stderr, "pttrace: %s: stream ended after %d events without a run-end (truncated)\n", src, total)
+			return 2
+		}
+		if time.Since(idleSince) > followIdle {
+			fmt.Fprintf(stderr, "pttrace: %s: no growth for %s and no run-end after %d events (truncated)\n",
+				src, followIdle, total)
+			return 2
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// finishFollow reports the terminal event and the stream totals,
+// mapping the run-end status to the exit code.
+func finishFollow(end trace.Event, total int64, kinds map[trace.Kind]int64, stdout, stderr io.Writer) int {
+	fmt.Fprintf(stdout, "  run-end at %s\n", trace.UnitWallNS.FormatDuration(int64(end.At)))
+	fmt.Fprintf(stdout, "%d events", total)
+	for k := trace.KindCreate; k <= trace.KindEnvelopeCross; k++ {
+		if n := kinds[k]; n > 0 {
+			fmt.Fprintf(stdout, " %s=%d", k, n)
+		}
+	}
+	fmt.Fprintln(stdout)
+	switch end.Arg {
+	case trace.RunEndClean:
+		fmt.Fprintln(stdout, "run ended clean")
+		return 0
+	case trace.RunEndDeadlock:
+		fmt.Fprintln(stderr, "pttrace: run ended in deadlock")
+		return 1
+	case trace.RunEndPanic:
+		fmt.Fprintln(stderr, "pttrace: run ended in panic")
+		return 1
+	default:
+		fmt.Fprintf(stderr, "pttrace: run ended with unknown status %d\n", end.Arg)
+		return 1
+	}
+}

@@ -1,0 +1,191 @@
+package main
+
+// -follow mode: tailing a growing JSONL file and an HTTP stream, the
+// clean/truncated/failed exit-code contract, and flag exclusivity.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spthreads/internal/trace"
+	"spthreads/internal/vtime"
+)
+
+// jsonlLines renders a header plus events in the wire format.
+func jsonlLines(t *testing.T, events ...trace.Event) string {
+	t.Helper()
+	var b bytes.Buffer
+	s, err := trace.NewJSONLStream(&b, trace.UnitWallNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := s.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+func followEvents(n int) []trace.Event {
+	var evs []trace.Event
+	for i := 0; i < n; i++ {
+		evs = append(evs, trace.Event{At: vtime.Time(i * 100), Proc: i % 2, Thread: int64(i), Kind: trace.KindDispatch})
+	}
+	return evs
+}
+
+// TestFollowGrowingFileCleanEnd: the tail keeps reading a file another
+// writer is appending to, and exits 0 at the clean run-end.
+func TestFollowGrowingFileCleanEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.jsonl")
+	evs := followEvents(50)
+	head := jsonlLines(t, evs[:20]...)
+	tail := jsonlLines(t, evs[20:]...)
+	// The tail half's stream re-emits a header; strip it (a growing file
+	// has exactly one).
+	tail = tail[strings.IndexByte(tail, '\n')+1:]
+	end := jsonlLines(t, trace.Event{At: 99999, Proc: -1, Thread: -1, Kind: trace.KindRunEnd, Arg: trace.RunEndClean})
+	end = end[strings.IndexByte(end, '\n')+1:]
+
+	if err := os.WriteFile(path, []byte(head), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer f.Close()
+		time.Sleep(50 * time.Millisecond)
+		fmt.Fprint(f, tail)
+		time.Sleep(50 * time.Millisecond)
+		fmt.Fprint(f, end)
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-follow", path}, &out, &errb)
+	wg.Wait()
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "run ended clean") {
+		t.Errorf("missing clean run-end report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "51 events") {
+		t.Errorf("missing event total (want 51):\n%s", out.String())
+	}
+}
+
+// TestFollowTruncatedFileExits2: a file that stops growing without a
+// run-end is a truncated trace.
+func TestFollowTruncatedFileExits2(t *testing.T) {
+	old := followIdle
+	followIdle = 150 * time.Millisecond
+	defer func() { followIdle = old }()
+
+	path := filepath.Join(t.TempDir(), "stream.jsonl")
+	if err := os.WriteFile(path, []byte(jsonlLines(t, followEvents(10)...)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-follow", path}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("run = %d, want 2 (truncated)\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "truncated") {
+		t.Errorf("missing truncation diagnostic: %s", errb.String())
+	}
+}
+
+// TestFollowHTTPStream: tailing an HTTP feed (the /trace?follow=1
+// shape: a header, a stream of events, a terminal run-end, then the
+// server closes). Clean end exits 0; a feed cut before the run-end
+// exits 2; a deadlock run-end exits 1.
+func TestFollowHTTPStream(t *testing.T) {
+	serve := func(body string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, body)
+		}))
+	}
+	clean := jsonlLines(t, append(followEvents(30),
+		trace.Event{At: 9000, Proc: -1, Thread: -1, Kind: trace.KindRunEnd, Arg: trace.RunEndClean})...)
+	srv := serve(clean)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-follow", srv.URL}, &out, &errb); code != 0 {
+		t.Fatalf("clean feed: run = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	srv.Close()
+
+	cut := jsonlLines(t, followEvents(30)...)
+	srv = serve(cut)
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-follow", srv.URL}, &out, &errb); code != 2 {
+		t.Fatalf("cut feed: run = %d, want 2\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "truncated") {
+		t.Errorf("cut feed missing truncation diagnostic: %s", errb.String())
+	}
+	srv.Close()
+
+	dead := jsonlLines(t, append(followEvents(5),
+		trace.Event{At: 9000, Proc: -1, Thread: -1, Kind: trace.KindRunEnd, Arg: trace.RunEndDeadlock})...)
+	srv = serve(dead)
+	defer srv.Close()
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-follow", srv.URL}, &out, &errb); code != 1 {
+		t.Fatalf("deadlock feed: run = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "deadlock") {
+		t.Errorf("deadlock feed missing diagnostic: %s", errb.String())
+	}
+}
+
+// TestFollowReportsEnvelopeCross: envelope crossings are landmarks the
+// tail prints as they stream past.
+func TestFollowReportsEnvelopeCross(t *testing.T) {
+	evs := append(followEvents(5),
+		trace.Event{At: 1234, Proc: -1, Thread: -1, Kind: trace.KindEnvelopeCross, Arg: 777000},
+		trace.Event{At: 9000, Proc: -1, Thread: -1, Kind: trace.KindRunEnd, Arg: trace.RunEndClean})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, jsonlLines(t, evs...))
+	}))
+	defer srv.Close()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-follow", srv.URL}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "envelope crossed") || !strings.Contains(out.String(), "777000 B") {
+		t.Errorf("missing envelope-cross landmark:\n%s", out.String())
+	}
+}
+
+// TestFollowRejectsOtherModes: -follow is exclusive with run/offline
+// flags.
+func TestFollowRejectsOtherModes(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-in", "x.jsonl"},
+		{"-analyze"},
+		{"-events", "out.jsonl"},
+	} {
+		var out, errb bytes.Buffer
+		args := append([]string{"-follow", "stream.jsonl"}, extra...)
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2\nstderr: %s", args, code, errb.String())
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command live runs a long irregular fork/join workload on the native
+// backend with live observability switched on, so the debug endpoint
+// can be watched while it runs:
+//
+//	go run ./examples/live -http 127.0.0.1:8731 -dur 30s &
+//	curl http://127.0.0.1:8731/metrics          # Prometheus exposition
+//	curl http://127.0.0.1:8731/statusz          # JSON run status
+//	curl -N 'http://127.0.0.1:8731/trace?follow=1' | head   # live event tail
+//	go run ./cmd/pttrace -follow 'http://127.0.0.1:8731/trace?follow=1'
+//	go tool pprof http://127.0.0.1:8731/debug/pprof/profile?seconds=5
+//
+// The workload repeats fork-tree waves until -dur elapses, each wave
+// allocating and freeing per-leaf buffers, so thread counts, dispatch
+// rates, and the space footprint keep moving for the whole run. With
+// -envelope the space watchdog arms and /statusz reports crossings.
+// The watchdog sees the footprint only at sample instants, which tend
+// to land at fork/join boundaries where little is held — pick a small
+// envelope (a few KB) to reliably observe crossings on a quiet host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"spthreads/pthread"
+)
+
+func main() {
+	httpAddr := flag.String("http", "127.0.0.1:8731", "debug endpoint address")
+	dur := flag.Duration("dur", 30*time.Second, "how long to keep the workload running")
+	interval := flag.Duration("interval", 100*time.Millisecond, "metric sample interval")
+	envelope := flag.Int64("envelope", 0, "space envelope in bytes for the live watchdog (0: off)")
+	procs := flag.Int("procs", 4, "workers")
+	flag.Parse()
+
+	rec := pthread.NewTraceRecorder(1 << 20)
+	cfg := pthread.Config{
+		Procs:          *procs,
+		Policy:         pthread.PolicyADF,
+		Backend:        pthread.BackendNative,
+		DefaultStack:   pthread.SmallStackSize,
+		Tracer:         rec,
+		Metrics:        pthread.NewMetrics(),
+		SampleInterval: *interval,
+		SpaceEnvelope:  *envelope,
+		DebugAddr:      *httpAddr,
+	}
+
+	fmt.Printf("live debug endpoint: http://%s  (/metrics /statusz /trace?follow=1 /debug/pprof)\n", *httpAddr)
+	fmt.Printf("running %v of fork/join waves on %d workers...\n", *dur, *procs)
+
+	deadline := time.Now().Add(*dur)
+	stats, err := pthread.Run(cfg, func(mt *pthread.T) {
+		for wave := 0; time.Now().Before(deadline); wave++ {
+			var fns []func(*pthread.T)
+			// Irregular widths keep the live thread count moving.
+			width := 16 + (wave%7)*8
+			for i := 0; i < width; i++ {
+				fns = append(fns, func(wt *pthread.T) {
+					b := wt.Malloc(32 << 10)
+					wt.Charge(20_000)
+					busy(200 * time.Microsecond)
+					wt.Free(b)
+				})
+			}
+			mt.Par(fns...)
+		}
+	})
+	if err != nil {
+		log.Fatalf("live: %v", err)
+	}
+
+	m := stats.Metrics
+	fmt.Printf("done: %d threads, %d trace events (%d dropped), %d samples, %d envelope crossings\n",
+		stats.ThreadsCreated, len(rec.Events()), rec.Dropped(),
+		m.Counters["obs.samples"], m.Counters["obs.envelope.crossings"])
+}
+
+// busy keeps a thread on-CPU for roughly d, standing in for real
+// computation between fork points.
+func busy(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,210 @@
+package harness
+
+// The live-observability experiment: the cost of turning the online
+// sampler on for native runs. Both arms trace (the tracer's own cost is
+// the native-obs experiment's subject); the "on" arm adds
+// SampleInterval, which switches the backend to live-obs mode — a
+// sampler goroutine taking periodic metric snapshots plus small drained
+// trace rings emptied by a background collector. The overhead
+// percentage is the gated metric; so is zero trace drops on the long
+// row, whose event volume exceeds the drained rings' total capacity and
+// therefore proves the mid-run drain kept up.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"spthreads/internal/barneshut"
+	"spthreads/internal/dtree"
+	"spthreads/pthread"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "live-obs",
+		Title: "Live introspection overhead: sampler + drained rings on vs off",
+		What:  "Observability cost check (DESIGN 12): wall-clock price of online sampling and trace drain",
+		Run:   runLiveObs,
+		JSON:  jsonLiveObs,
+	})
+}
+
+// liveObsSampleInterval is deliberately aggressive (the library default
+// is 100ms): a short interval maximizes sampler activity per run, so
+// the measured overhead upper-bounds what a production interval costs.
+// Not too aggressive, though — on a single-CPU host every tick
+// preempts a worker, and at 10ms the measurement gates scheduler churn
+// rather than the sampler.
+const liveObsSampleInterval = 25 * time.Millisecond
+
+// liveObsBenches: one irregular tree walk and one allocation-heavy
+// recursion, both long enough (~100ms+) for several sampler ticks and
+// drain intervals to land mid-run. The dtree row is oversized relative
+// to the other experiments so its event volume exceeds the drained
+// rings' combined capacity — the zero-drop gate on that row is vacuous
+// otherwise.
+func liveObsBenches(paper bool) []struct {
+	name string
+	prog func(*pthread.T)
+} {
+	// Longer than the native-obs sizes: overhead is a difference of wall
+	// times, and on a noisy single-CPU host a ~60ms run leaves the ~5%
+	// signal inside the noise floor even with min/min pairing.
+	bh := barneshut.Config{N: 16000, Steps: 3}
+	dt := dtree.Config{Gen: dtree.GenConfig{Instances: 100000, Attrs: 4}, MinLeaf: 500}
+	if paper {
+		bh = barneshutCfg(true)
+		dt = dtreeCfg(true)
+	}
+	return []struct {
+		name string
+		prog func(*pthread.T)
+	}{
+		{"bhut", barneshut.Fine(bh)},
+		{"dtree", dtree.Fine(dt)},
+	}
+}
+
+var liveObsProcs = []int{4}
+
+// liveObsRecorderCap is larger than obsRecorderCap: the unsampled arm
+// splits it across post-mortem per-worker rings, and the oversized
+// dtree row's per-worker event counts (schedule-skewed) overflow an
+// obsRecorderCap/procs ring.
+const liveObsRecorderCap = 1 << 19
+
+// liveObsMeasurement is one repetition's outcome.
+type liveObsMeasurement struct {
+	st      pthread.Stats
+	ms      float64
+	events  int64
+	dropped int64
+	samples int64
+}
+
+// liveObsPair is the off/on comparison for one configuration: the
+// median repetition of each arm plus the min/min overhead (see obsPair
+// for why minimum wall times, not medians, feed the ratio).
+type liveObsPair struct {
+	off, on     liveObsMeasurement
+	overheadPct float64
+}
+
+func liveObsOnce(opt Options, procs int, prog func(*pthread.T), sampler bool) liveObsMeasurement {
+	// Fresh heap per repetition, as in obsOnce: an inherited GC cycle
+	// dwarfs the per-sample cost being measured.
+	runtime.GC()
+	cfg := backendConfig(pthread.BackendNative, procs)
+	cfg.Metrics = pthread.NewMetrics()
+	rec := pthread.NewTraceRecorder(liveObsRecorderCap)
+	cfg.Tracer = rec
+	if sampler {
+		cfg.SampleInterval = liveObsSampleInterval
+		// -http: serve the debug endpoint during the sampled arm so a
+		// long benchmark can be watched live. Serving perturbs the
+		// measurement only if something polls it.
+		cfg.DebugAddr = opt.HTTPAddr
+	}
+	start := time.Now()
+	st := run(cfg, prog)
+	m := liveObsMeasurement{st: st, ms: float64(time.Since(start).Nanoseconds()) / 1e6}
+	m.events = int64(len(rec.Events()))
+	m.dropped = rec.Dropped()
+	if st.Metrics != nil {
+		m.samples = st.Metrics.Counters["obs.samples"]
+	}
+	return m
+}
+
+// liveObsRun measures prog with the sampler off and on, repeat
+// interleaved pairs alternating which arm runs first (obsRun documents
+// why), reporting each arm's median and the min/min overhead.
+func liveObsRun(opt Options, procs int, prog func(*pthread.T), repeat int) liveObsPair {
+	offs := make([]liveObsMeasurement, 0, repeat)
+	ons := make([]liveObsMeasurement, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		if i%2 == 0 {
+			offs = append(offs, liveObsOnce(opt, procs, prog, false))
+			ons = append(ons, liveObsOnce(opt, procs, prog, true))
+		} else {
+			ons = append(ons, liveObsOnce(opt, procs, prog, true))
+			offs = append(offs, liveObsOnce(opt, procs, prog, false))
+		}
+	}
+	minMS := func(runs []liveObsMeasurement) float64 {
+		m := runs[0].ms
+		for _, r := range runs[1:] {
+			if r.ms < m {
+				m = r.ms
+			}
+		}
+		return m
+	}
+	byMS := func(runs []liveObsMeasurement) liveObsMeasurement {
+		sort.Slice(runs, func(i, j int) bool { return runs[i].ms < runs[j].ms })
+		return runs[len(runs)/2]
+	}
+	p := liveObsPair{off: byMS(offs), on: byMS(ons)}
+	if lo := minMS(offs); lo > 0 {
+		p.overheadPct = 100 * (minMS(ons) - lo) / lo
+	}
+	return p
+}
+
+func runLiveObs(w io.Writer, opt Options) error {
+	repeat := opt.repeatCount()
+	fmt.Fprintf(w, "Native backend, ADF policy, tracer attached on both arms; wall clock is the median of %d run(s) per row.\n", repeat)
+	fmt.Fprintf(w, "The sampled arm adds SampleInterval=%v (sampler goroutine + drained rings); overhead compares it to the unsampled arm.\n", liveObsSampleInterval)
+	fmt.Fprintln(w)
+	tb := newTable(w)
+	tb.row("bench", "procs", "sampler", "wall ms", "events", "dropped", "samples", "overhead %")
+	for _, b := range liveObsBenches(opt.paper()) {
+		for _, p := range opt.procs(liveObsProcs) {
+			pr := liveObsRun(opt, p, b.prog, repeat)
+			tb.row(b.name, p, "off", fmt.Sprintf("%.2f", pr.off.ms),
+				pr.off.events, pr.off.dropped, "-", "-")
+			tb.row(b.name, p, "on", fmt.Sprintf("%.2f", pr.on.ms),
+				pr.on.events, pr.on.dropped, pr.on.samples,
+				fmt.Sprintf("%+.1f", pr.overheadPct))
+		}
+	}
+	tb.flush()
+	return nil
+}
+
+func jsonLiveObs(opt Options) (*BenchResult, error) {
+	repeat := opt.repeatCount()
+	res := &BenchResult{Experiment: "live-obs", Scale: scaleName(opt),
+		Title: "Live introspection overhead: sampler + drained rings on vs off"}
+	for _, b := range liveObsBenches(opt.paper()) {
+		for _, p := range opt.procs(liveObsProcs) {
+			pr := liveObsRun(opt, p, b.prog, repeat)
+			offRow := statsRun(pthread.PolicyADF, p, pr.off.st)
+			offRow.Bench = b.name
+			offRow.Backend = string(pthread.BackendNative)
+			offRow.WallMS = pr.off.ms
+			offRow.Repeat = repeat
+			offRow.TimeCycles, offRow.TimeUS = 0, 0
+			offRow.Tracer = true
+			offRow.TraceEvents = pr.off.events
+			offRow.TraceDropped = pr.off.dropped
+			onRow := statsRun(pthread.PolicyADF, p, pr.on.st)
+			onRow.Bench = b.name
+			onRow.Backend = string(pthread.BackendNative)
+			onRow.WallMS = pr.on.ms
+			onRow.Repeat = repeat
+			onRow.TimeCycles, onRow.TimeUS = 0, 0
+			onRow.Tracer = true
+			onRow.TraceEvents = pr.on.events
+			onRow.TraceDropped = pr.on.dropped
+			onRow.Sampler = true
+			onRow.Samples = pr.on.samples
+			onRow.SamplerOverheadPct = pr.overheadPct
+			res.Runs = append(res.Runs, offRow, onRow)
+		}
+	}
+	return res, nil
+}

@@ -123,6 +123,100 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+// TestSnapshotWhileHot: a sampler may snapshot the registry mid-run
+// while every worker hammers counters, gauges, and histograms — reads
+// must be race-clean (this is the -race half of the live-introspection
+// contract) and every observed aggregate must stay coherent: counts
+// monotone, min <= max, mean within the written range.
+func TestSnapshotWhileHot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sched.dispatches")
+	g := r.Gauge("threads.live")
+	h := r.Histogram("sched.lock.wait")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const writers = 8
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(j%1000 + 1))
+			}
+		}(i)
+	}
+	var lastCount int64
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		if s == nil {
+			t.Fatal("nil snapshot from attached registry")
+		}
+		if n := s.Counters["sched.dispatches"]; n < lastCount {
+			t.Fatalf("counter went backwards: %d after %d", n, lastCount)
+		} else {
+			lastCount = n
+		}
+		if hv, ok := s.Histograms["sched.lock.wait"]; ok && hv.Count > 0 {
+			if hv.Min > hv.Max {
+				t.Fatalf("torn histogram extremes: min %d > max %d", hv.Min, hv.Max)
+			}
+			if hv.Mean < 0 || hv.Mean > 1001 {
+				t.Fatalf("histogram mean %f outside written range [1,1000]", hv.Mean)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	final := r.Snapshot()
+	if final.Counters["sched.dispatches"] != c.Value() {
+		t.Fatalf("quiesced snapshot %d != counter %d",
+			final.Counters["sched.dispatches"], c.Value())
+	}
+}
+
+// TestResolveWhileHot: resolving new instruments races snapshots and
+// writers without corrupting the maps (the registry's cold-path mutex).
+func TestResolveWhileHot(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(j))
+				r.Histogram("h").Observe(int64(j + 1))
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 100; i++ {
+		if s := r.Snapshot(); s == nil {
+			t.Fatal("nil snapshot")
+		}
+		r.Names()
+	}
+	close(stop)
+	wg.Wait()
+	if len(r.Names()) != 3 {
+		t.Fatalf("names = %v, want 3 instruments", r.Names())
+	}
+}
+
 // TestNilInstrumentsConcurrent: nil handles stay no-ops even when
 // hammered concurrently (the detached-registry fast path).
 func TestNilInstrumentsConcurrent(t *testing.T) {

@@ -6,10 +6,15 @@
 // handles once (from a possibly-nil *Registry) and each hot-path update
 // costs a single nil check when no registry is attached. Instrument
 // updates are atomic, so the native backend's workers can hammer the
-// same counter or histogram concurrently off the scheduler lock; the
-// registry maps themselves are not locked — resolve handles before
-// going concurrent, and snapshot after workers quiesce. None of the
-// instruments ever touches virtual time, preserving the simulator's
+// same counter or histogram concurrently off the scheduler lock. The
+// registry maps are guarded by a mutex taken only on the cold paths —
+// instrument resolution and Snapshot — so a live sampler may snapshot
+// the registry mid-run, while every writer is hot, without blocking any
+// instrument update: reads are race-clean atomic loads. A mid-run
+// snapshot of a histogram may observe a momentarily torn aggregate
+// (a count without its sum); Snapshot clamps the derived fields so the
+// result is monitoring-grade, and a quiesced snapshot is exact. None of
+// the instruments ever touches virtual time, preserving the simulator's
 // determinism invariant.
 package metrics
 
@@ -17,6 +22,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -24,6 +30,10 @@ import (
 // (nil) is a valid "detached" registry: it hands out nil instruments
 // whose operations are no-ops.
 type Registry struct {
+	// mu guards the maps only: instrument resolution (cold — handles are
+	// resolved once) and snapshot iteration. Instrument updates never
+	// touch it.
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -44,6 +54,8 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -58,6 +70,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -74,6 +88,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
 		h = &Histogram{}
@@ -186,8 +202,9 @@ const histBuckets = 64
 // cycles on the sim, wall nanoseconds on the native backend) in
 // power-of-two buckets. Concurrent Observe is safe; each field updates
 // atomically, so a racing reader may see a momentarily torn aggregate
-// (count without its sum), which the quiesce-then-snapshot discipline
-// avoids.
+// (count without its sum). That is acceptable for live sampling —
+// Snapshot clamps the derived fields — and a snapshot taken after
+// writers quiesce is exact.
 type Histogram struct {
 	count, sum atomic.Int64
 	min, max   atomic.Int64
@@ -283,11 +300,17 @@ type Snapshot struct {
 }
 
 // Snapshot captures the registry's current state (nil for a nil
-// registry). Take it after concurrent writers have quiesced.
+// registry). It is safe to take while writers are hot: every instrument
+// field is loaded atomically, so the snapshot is race-clean, though a
+// histogram caught mid-Observe may show a count one ahead of its sum
+// (the derived mean and extremes are clamped to stay coherent). A
+// snapshot taken after writers quiesce is exact.
 func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	s := &Snapshot{}
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]int64, len(r.counters))
@@ -307,6 +330,13 @@ func (r *Registry) Snapshot() *Snapshot {
 			hv := HistogramValue{Count: h.Count(), Sum: h.Sum()}
 			if hv.Count > 0 {
 				hv.Min, hv.Max = h.min.Load(), h.max.Load()
+				// A mid-run snapshot can catch an Observe between its
+				// count bump and its min/max updates; clamp so the
+				// extremes stay coherent rather than reporting the
+				// MaxInt64 sentinel of a never-lowered min.
+				if hv.Min > hv.Max {
+					hv.Min = hv.Max
+				}
 				hv.Mean = float64(hv.Sum) / float64(hv.Count)
 				hv.P50 = h.Quantile(0.50)
 				hv.P90 = h.Quantile(0.90)
@@ -324,6 +354,8 @@ func (r *Registry) Names() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var names []string
 	for n := range r.counters {
 		names = append(names, n)

@@ -44,7 +44,7 @@ func (b *Backend) fork(t *thread, attr core.Attr, fn func(exec.Thread), dummy bo
 		t.state = core.StateReady
 		b.policy.OnReady(t.tok, t.pid)
 		b.noteReady(t)
-		b.running--
+		b.addRunning(-1)
 		at, pid := b.tracer.now(), t.pid // pid before another worker redispatches t
 		b.markRunning(child, pid)
 		b.cond.Signal() // the parent is dispatchable by another worker
@@ -90,7 +90,7 @@ func (b *Backend) Join(pt exec.Thread, ptarget exec.Thread) error {
 		target.joiner = t
 		t.state = core.StateBlocked
 		b.policy.OnBlock(t.tok)
-		b.running--
+		b.addRunning(-1)
 		at, pid := b.tracer.now(), t.pid // pid before the target's exit redispatches t
 		b.mu.Unlock()
 		b.tracer.recordAt(at, pid, t.id, trace.KindBlock, 0)
@@ -203,7 +203,7 @@ func (b *Backend) Sleep(pt exec.Thread, d vtime.Duration) {
 	b.lock()
 	t.state = core.StateBlocked
 	b.policy.OnBlock(t.tok)
-	b.running--
+	b.addRunning(-1)
 	b.sleepers++
 	b.tracer.record(t.pid, t.id, trace.KindBlock, 0)
 	b.mu.Unlock()

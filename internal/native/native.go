@@ -42,6 +42,7 @@ import (
 	"spthreads/internal/core"
 	"spthreads/internal/exec"
 	"spthreads/internal/metrics"
+	"spthreads/internal/obs"
 	"spthreads/internal/spaceprof"
 	"spthreads/internal/trace"
 	"spthreads/internal/vtime"
@@ -72,6 +73,13 @@ type Config struct {
 	// SpaceProf, when non-nil, samples the live footprint over time
 	// (timestamps are wall time converted to virtual cycles).
 	SpaceProf *spaceprof.Profiler
+	// Obs enables live introspection (periodic metric sampling, the
+	// space-envelope watchdog, the HTTP debug endpoint); the zero value
+	// keeps everything post-mortem. When enabled together with Tracer,
+	// the per-worker trace rings switch to small drained buffers and a
+	// background collector streams them into the recorder during the
+	// run, so long runs stop dropping events.
+	Obs obs.Options
 }
 
 // Backend is one native run. It is single-shot: build one per Execute.
@@ -131,6 +139,11 @@ type Backend struct {
 	handoff      *metrics.Histogram // wall ns a resume send waited for the parked thread
 	mutexWait    *metrics.Histogram // wall ns blocked in nativeMutex.Lock
 	readyGauge   *metrics.Gauge     // threads in the policy's ready structure
+	runningGauge *metrics.Gauge     // threads currently assigned to workers
+
+	// observer is the live introspection subsystem (nil when Config.Obs
+	// is zero); it samples the gauges above lock-free mid-run.
+	observer *obs.Observer
 
 	workers []*worker
 	wg      sync.WaitGroup // workers
@@ -158,6 +171,13 @@ func New(cfg Config) (*Backend, error) {
 	if stack <= 0 {
 		stack = core.DefaultStackSize
 	}
+	reg := cfg.Metrics
+	if reg == nil && cfg.Obs.Enabled() {
+		// The observer's sampler, watchdog, and endpoint all read live
+		// instruments; a run observed without an explicit registry gets
+		// a private one (its snapshot still lands in Stats.Metrics).
+		reg = metrics.NewRegistry()
+	}
 	b := &Backend{
 		procs:        procs,
 		policy:       cfg.Policy,
@@ -166,21 +186,22 @@ func New(cfg Config) (*Backend, error) {
 		defaultStack: stack,
 		byTok:        make(map[*core.Thread]*thread),
 		spaceProf:    cfg.SpaceProf,
-		registry:     cfg.Metrics,
-		liveGauge:    cfg.Metrics.Gauge("threads.live"),
+		registry:     reg,
+		liveGauge:    reg.Gauge("threads.live"),
 		workers:      make([]*worker, procs),
 	}
 	b.cond = sync.NewCond(&b.mu)
-	b.tracer = newTracer(cfg.Tracer, procs)
+	b.tracer = newTracer(cfg.Tracer, procs, cfg.Obs.Enabled())
 	b.traceRec = cfg.Tracer
-	b.lockWait = cfg.Metrics.Histogram("sched.lock.wait")
-	b.dispatchWait = cfg.Metrics.Histogram("sched.dispatch.wait")
-	b.handoff = cfg.Metrics.Histogram("sched.resume.handoff")
-	b.mutexWait = cfg.Metrics.Histogram("sync.mutex.wait")
-	b.readyGauge = cfg.Metrics.Gauge("sched.ready")
+	b.lockWait = reg.Histogram("sched.lock.wait")
+	b.dispatchWait = reg.Histogram("sched.dispatch.wait")
+	b.handoff = reg.Histogram("sched.resume.handoff")
+	b.mutexWait = reg.Histogram("sync.mutex.wait")
+	b.readyGauge = reg.Gauge("sched.ready")
+	b.runningGauge = reg.Gauge("sched.running")
 	for i := range b.workers {
 		b.workers[i] = &worker{
-			dispatches: cfg.Metrics.Counter(fmt.Sprintf("sched.dispatches.w%d", i)),
+			dispatches: reg.Counter(fmt.Sprintf("sched.dispatches.w%d", i)),
 		}
 	}
 	if cfg.SchedBatch > 1 {
@@ -189,7 +210,38 @@ func New(cfg Config) (*Backend, error) {
 			b.batch = cfg.SchedBatch
 		}
 	}
+	if cfg.Obs.Enabled() {
+		var record func(kind trace.Kind, arg int64)
+		var col *trace.Collector
+		if b.tracer != nil {
+			record = func(kind trace.Kind, arg int64) {
+				b.tracer.record(-1, 0, kind, arg)
+			}
+			col = b.tracer.col
+		}
+		b.observer = obs.New(cfg.Obs, reg, b.liveState, record, col)
+	}
 	return b, nil
+}
+
+// liveState assembles the observer's point-in-time view from atomic
+// reads only — the sampler never touches b.mu, so observing a run
+// cannot perturb its scheduling.
+func (b *Backend) liveState() obs.LiveState {
+	ws := make([]int64, len(b.workers))
+	for i, w := range b.workers {
+		ws[i] = w.dispatches.Value()
+	}
+	return obs.LiveState{
+		ElapsedNS:  time.Since(b.start).Nanoseconds(),
+		Live:       b.liveGauge.Value(),
+		Ready:      b.readyGauge.Value(),
+		Running:    b.runningGauge.Value(),
+		HeapBytes:  b.mem.liveHeap.Load(),
+		StackBytes: b.mem.liveStack.Load(),
+		Dispatches: b.dispatchTally.Load(),
+		Workers:    ws,
+	}
 }
 
 // Name implements exec.Backend.
@@ -205,6 +257,17 @@ func (b *Backend) Execute(main func(exec.Thread)) (core.Stats, error) {
 	b.start = time.Now()
 	if b.tracer != nil {
 		b.tracer.start = b.start
+		if b.tracer.col != nil {
+			b.tracer.col.Start()
+		}
+	}
+	if b.observer != nil {
+		if err := b.observer.Start(); err != nil {
+			if b.tracer != nil && b.tracer.col != nil {
+				b.tracer.col.Finish(b.traceRec, trace.UnitWallNS)
+			}
+			return core.Stats{}, fmt.Errorf("native: observer: %w", err)
+		}
 	}
 
 	root := b.newThread(core.Attr{Name: "main"}, main)
@@ -226,6 +289,12 @@ func (b *Backend) Execute(main func(exec.Thread)) (core.Stats, error) {
 	b.wg.Wait()
 	b.poisonParked()
 	b.twg.Wait()
+	// Stop the observer before the terminal record: its final watchdog
+	// sample may still emit an envelope-cross event, which must precede
+	// KindRunEnd in the merged trace.
+	if b.observer != nil {
+		b.observer.Stop()
+	}
 	// Every worker and thread goroutine has quiesced; only stray timers
 	// may still fire, and those record nothing once b.done is set (they
 	// check under b.mu, which orders their writes before the merge).
@@ -233,6 +302,12 @@ func (b *Backend) Execute(main func(exec.Thread)) (core.Stats, error) {
 	b.tracer.record(-1, 0, trace.KindRunEnd, b.endStatus)
 	b.tracer.finish(b.traceRec)
 	b.mu.Unlock()
+	// Only now close the endpoint: tracer.finish broadcast the final
+	// batch (run-end included) to live /trace followers, and the
+	// graceful shutdown lets them finish writing it out.
+	if b.observer != nil {
+		b.observer.Shutdown()
+	}
 	return b.stats(), b.err
 }
 
@@ -371,13 +446,21 @@ func (b *Backend) next(pid int) *thread {
 	}
 }
 
+// addRunning adjusts the running-thread count and its lock-free gauge
+// mirror (the observer samples the gauge without b.mu). Caller holds
+// b.mu.
+func (b *Backend) addRunning(d int) {
+	b.running += d
+	b.runningGauge.Set(int64(b.running))
+}
+
 // markRunning assigns t to worker pid. Caller holds b.mu.
 func (b *Backend) markRunning(t *thread, pid int) {
 	t.state = core.StateRunning
 	t.pid = pid
 	t.quotaLeft = b.quota
 	t.sinceDispatch = 0
-	b.running++
+	b.addRunning(1)
 	b.workers[pid].stats.Dispatches++
 	b.workers[pid].dispatches.Inc()
 	b.dispatchTally.Add(1)
@@ -398,7 +481,7 @@ func (b *Backend) blockPrep(t *thread) {
 	b.lock()
 	t.state = core.StateBlocked
 	b.policy.OnBlock(t.tok)
-	b.running--
+	b.addRunning(-1)
 	at, pid := b.tracer.now(), t.pid // pid before a waker redispatches t
 	b.mu.Unlock()
 	b.tracer.recordAt(at, pid, t.id, trace.KindBlock, 0)
@@ -431,7 +514,7 @@ func (b *Backend) preemptNow(t *thread) {
 	t.state = core.StateReady
 	b.policy.OnReady(t.tok, t.pid)
 	b.noteReady(t)
-	b.running--
+	b.addRunning(-1)
 	at, pid := b.tracer.now(), t.pid // pid before another worker redispatches t
 	b.cond.Signal()
 	b.mu.Unlock()
@@ -463,7 +546,7 @@ func (b *Backend) exitThread(t *thread) {
 	b.policy.OnExit(t.tok)
 	delete(b.byTok, t.tok)
 	b.live--
-	b.running--
+	b.addRunning(-1)
 	b.liveGauge.Set(int64(b.live))
 	at, pid := b.tracer.now(), t.pid
 	j := t.joiner

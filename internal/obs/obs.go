@@ -1,0 +1,266 @@
+// Package obs is the native backend's live introspection subsystem:
+// everything the repo's observability stack previously offered only
+// post-mortem, made available while the run is hot.
+//
+//   - A periodic sampler goroutine snapshots the metrics registry
+//     mid-run (the registry's instruments are atomically readable
+//     while writers are hot, so the sampler never blocks a worker) and
+//     reads the backend's live state through a lock-free LiveState
+//     callback.
+//   - A space-envelope watchdog compares the live heap+stack footprint
+//     against the trace-fitted S1 + c·p·D envelope every sample,
+//     emitting a KindEnvelopeCross trace event and bumping a counter
+//     on each rising edge (re-armed when the footprint falls back
+//     under), plus a gauge of the current overshoot.
+//   - A stall detector flags sample windows in which no dispatch
+//     happened while runnable threads existed — the live analogue of
+//     the backend's all-idle deadlock check, catching soft stalls
+//     (e.g. a wedged worker) that never trip it.
+//   - An opt-in HTTP debug endpoint (server.go) serves /metrics in
+//     Prometheus text exposition format, /statusz JSON, /debug/pprof,
+//     and /trace?follow=1 streaming drained trace events as JSONL.
+//
+// The simulator intentionally stays post-mortem: its runs are
+// single-goroutine virtual-time executions where "live" sampling would
+// either perturb determinism or observe nothing mid-step, so the
+// public Config rejects these options on the sim backend.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spthreads/internal/metrics"
+	"spthreads/internal/trace"
+)
+
+// Options configures the observer. The zero value disables everything
+// (Enabled reports false).
+type Options struct {
+	// SampleInterval is the sampler period. 0 disables the sampler
+	// unless DebugAddr is set, in which case it defaults to 100ms (the
+	// endpoint's live views are built from samples).
+	SampleInterval time.Duration
+	// EnvelopeBytes is the fitted S1 + c·p·D space envelope; the
+	// watchdog is off when 0.
+	EnvelopeBytes int64
+	// DebugAddr, when non-empty, serves the HTTP debug endpoint on
+	// that address ("host:port"; ":0" picks a free port, see
+	// Observer.Addr).
+	DebugAddr string
+}
+
+// DefaultSampleInterval is the sampler period used when an endpoint is
+// requested without an explicit interval.
+const DefaultSampleInterval = 100 * time.Millisecond
+
+// Enabled reports whether the options ask for any live introspection.
+func (o Options) Enabled() bool {
+	return o.SampleInterval > 0 || o.EnvelopeBytes > 0 || o.DebugAddr != ""
+}
+
+// interval resolves the effective sampler period.
+func (o Options) interval() time.Duration {
+	if o.SampleInterval > 0 {
+		return o.SampleInterval
+	}
+	return DefaultSampleInterval
+}
+
+// LiveState is a point-in-time view of the running backend, built
+// entirely from lock-free atomic reads so taking one never contends
+// with the scheduler.
+type LiveState struct {
+	ElapsedNS  int64
+	Live       int64 // threads created and not yet exited
+	Ready      int64 // threads in the policy's ready structure
+	Running    int64 // threads currently assigned to workers
+	HeapBytes  int64
+	StackBytes int64
+	Dispatches int64   // cumulative, all workers
+	Workers    []int64 // cumulative dispatches per worker
+}
+
+// Observer runs the sampler/watchdog loop and (optionally) the debug
+// endpoint for one native run. Build with New, then Start, then Stop
+// exactly once after the backend's producers have quiesced and before
+// the trace rings are merged (so a final watchdog event cannot land
+// after KindRunEnd).
+type Observer struct {
+	opts  Options
+	reg   *metrics.Registry
+	state func() LiveState
+	// record appends a machine-level event to the backend's trace (nil
+	// when the run is untraced).
+	record func(kind trace.Kind, arg int64)
+	// col is the incremental trace collector, for /trace?follow=1 and
+	// the drained count (nil when the run is untraced).
+	col *trace.Collector
+
+	samples    *metrics.Counter
+	stalls     *metrics.Counter
+	crossings  *metrics.Counter
+	footprint  *metrics.Gauge
+	overBytes  *metrics.Gauge
+	sampleTick atomic.Int64 // samples taken (atomic twin of the counter, for statusz)
+
+	// last is the previous sample, read by the statusz handler.
+	mu      sync.Mutex
+	last    LiveState
+	lastAt  time.Time
+	rates   []float64 // per-worker dispatches/sec over the last window
+	crossed bool      // watchdog armed state (rising-edge detection)
+
+	srv *server // nil unless DebugAddr is set
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds an observer. reg must be non-nil (the backend attaches a
+// private registry when the caller did not provide one); record and
+// col may be nil for untraced runs.
+func New(opts Options, reg *metrics.Registry, state func() LiveState,
+	record func(kind trace.Kind, arg int64), col *trace.Collector) *Observer {
+	return &Observer{
+		opts:      opts,
+		reg:       reg,
+		state:     state,
+		record:    record,
+		col:       col,
+		samples:   reg.Counter("obs.samples"),
+		stalls:    reg.Counter("obs.stall.windows"),
+		crossings: reg.Counter("obs.envelope.crossings"),
+		footprint: reg.Gauge("obs.footprint.bytes"),
+		overBytes: reg.Gauge("obs.envelope.over.bytes"),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the sampler goroutine and, when configured, the HTTP
+// endpoint. A listen failure is returned before anything runs.
+func (ob *Observer) Start() error {
+	if ob.opts.DebugAddr != "" {
+		srv, err := newServer(ob)
+		if err != nil {
+			return err
+		}
+		ob.srv = srv
+	}
+	ob.mu.Lock()
+	ob.last = ob.state()
+	ob.lastAt = time.Now()
+	ob.mu.Unlock()
+	go ob.loop()
+	return nil
+}
+
+// Addr returns the endpoint's actual listen address ("" without one) —
+// useful when DebugAddr was ":0".
+func (ob *Observer) Addr() string {
+	if ob.srv == nil {
+		return ""
+	}
+	return ob.srv.addr()
+}
+
+// Stop halts the sampler after one final sample. Call after producers
+// quiesce but before the terminal trace record, so a last watchdog
+// event can still precede run-end in the merge. The HTTP endpoint
+// stays up until Shutdown so live /trace followers receive the final
+// broadcast (including run-end) instead of a severed connection.
+func (ob *Observer) Stop() {
+	close(ob.stop)
+	<-ob.done
+}
+
+// Shutdown closes the HTTP endpoint. Call after the trace merge has
+// broadcast the run-end; in-flight streams get a short grace period to
+// flush it before connections close.
+func (ob *Observer) Shutdown() {
+	if ob.srv != nil {
+		ob.srv.close()
+	}
+}
+
+// loop is the sampler goroutine.
+func (ob *Observer) loop() {
+	defer close(ob.done)
+	t := time.NewTicker(ob.opts.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ob.stop:
+			ob.sample()
+			return
+		case <-t.C:
+			ob.sample()
+		}
+	}
+}
+
+// sample takes one observation: a LiveState, the watchdog check, and
+// the stall check. The registry snapshot itself is taken by consumers
+// (statusz/metrics handlers, tests) — instruments are readable while
+// hot, so there is nothing to copy eagerly here.
+func (ob *Observer) sample() {
+	s := ob.state()
+	now := time.Now()
+	ob.samples.Inc()
+	ob.sampleTick.Add(1)
+
+	foot := s.HeapBytes + s.StackBytes
+	ob.footprint.Set(foot)
+
+	ob.mu.Lock()
+	last, lastAt := ob.last, ob.lastAt
+	window := now.Sub(lastAt)
+
+	// Watchdog: rising-edge envelope crossing.
+	if env := ob.opts.EnvelopeBytes; env > 0 {
+		over := foot - env
+		if over > 0 {
+			ob.overBytes.Set(over)
+			if !ob.crossed {
+				ob.crossed = true
+				ob.crossings.Inc()
+				if ob.record != nil {
+					ob.record(trace.KindEnvelopeCross, foot)
+				}
+			}
+		} else {
+			ob.overBytes.Set(0)
+			ob.crossed = false
+		}
+	}
+
+	// Stall: a whole window with zero dispatches while runnable threads
+	// existed at both edges. Distinct from deadlock detection — the
+	// backend only declares deadlock when every worker is idle and
+	// nothing is runnable; this catches the opposite pathology.
+	if s.Dispatches == last.Dispatches && s.Ready > 0 && last.Ready > 0 {
+		ob.stalls.Inc()
+	}
+
+	// Per-worker dispatch rates over the window, for /statusz.
+	if window > 0 && len(s.Workers) > 0 {
+		if ob.rates == nil {
+			ob.rates = make([]float64, len(s.Workers))
+		}
+		for i := range s.Workers {
+			var prev int64
+			if i < len(last.Workers) {
+				prev = last.Workers[i]
+			}
+			ob.rates[i] = float64(s.Workers[i]-prev) / window.Seconds()
+		}
+	}
+
+	ob.last, ob.lastAt = s, now
+	ob.mu.Unlock()
+}
+
+// Samples reports how many samples the observer has taken.
+func (ob *Observer) Samples() int64 { return ob.sampleTick.Load() }

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spthreads/internal/metrics"
+	"spthreads/internal/trace"
+)
+
+// fakeState builds a LiveState callback over mutable atomics, standing
+// in for the native backend.
+type fakeState struct {
+	dispatches atomic.Int64
+	ready      atomic.Int64
+	heap       atomic.Int64
+	stack      atomic.Int64
+}
+
+func (f *fakeState) state() LiveState {
+	return LiveState{
+		ElapsedNS:  1,
+		Live:       1,
+		Ready:      f.ready.Load(),
+		Running:    1,
+		HeapBytes:  f.heap.Load(),
+		StackBytes: f.stack.Load(),
+		Dispatches: f.dispatches.Load(),
+		Workers:    []int64{f.dispatches.Load()},
+	}
+}
+
+// TestSamplerTicks: the sampler takes periodic samples and one final
+// sample at Stop, and counts them in both the registry and the atomic.
+func TestSamplerTicks(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := &fakeState{}
+	ob := New(Options{SampleInterval: time.Millisecond}, reg, f.state, nil, nil)
+	if err := ob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	ob.Stop()
+	n := ob.Samples()
+	if n < 2 {
+		t.Fatalf("samples = %d after 20ms of 1ms ticks, want >= 2", n)
+	}
+	if got := reg.Snapshot().Counters["obs.samples"]; got != n {
+		t.Fatalf("obs.samples counter = %d, Samples() = %d", got, n)
+	}
+}
+
+// TestStallDetector: windows with zero dispatches while runnable
+// threads exist are flagged; windows with progress (or nothing
+// runnable) are not.
+func TestStallDetector(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := &fakeState{}
+	ob := New(Options{SampleInterval: time.Minute}, reg, f.state, nil, nil)
+	ob.mu.Lock()
+	ob.last = f.state()
+	ob.lastAt = time.Now()
+	ob.mu.Unlock()
+
+	// Progress: dispatches advanced → no stall.
+	f.ready.Store(3)
+	ob.sample() // baseline with ready>0
+	f.dispatches.Add(5)
+	ob.sample()
+	if got := ob.stalls.Value(); got != 0 {
+		t.Fatalf("stall windows = %d after progress, want 0", got)
+	}
+	// Frozen with runnable threads → stall.
+	ob.sample()
+	if got := ob.stalls.Value(); got != 1 {
+		t.Fatalf("stall windows = %d after frozen window, want 1", got)
+	}
+	// Frozen but nothing runnable → idle, not a stall.
+	f.ready.Store(0)
+	ob.sample()
+	ob.sample()
+	if got := ob.stalls.Value(); got != 1 {
+		t.Fatalf("stall windows = %d after idle windows, want 1", got)
+	}
+}
+
+// TestWatchdogRisingEdge: the envelope watchdog fires once per
+// crossing (rising edge), re-arms when the footprint falls back under,
+// and emits KindEnvelopeCross with the footprint as payload.
+func TestWatchdogRisingEdge(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := &fakeState{}
+	var events []trace.Event
+	record := func(kind trace.Kind, arg int64) {
+		events = append(events, trace.Event{Kind: kind, Arg: arg})
+	}
+	ob := New(Options{SampleInterval: time.Minute, EnvelopeBytes: 1000}, reg, f.state, record, nil)
+
+	f.heap.Store(600)
+	f.stack.Store(300)
+	ob.sample() // 900 <= 1000: under
+	f.heap.Store(800)
+	ob.sample() // 1100 > 1000: cross
+	ob.sample() // still over: no second event
+	f.heap.Store(100)
+	ob.sample() // 400: re-arm
+	f.heap.Store(2000)
+	ob.sample() // 2300: cross again
+
+	if got := ob.crossings.Value(); got != 2 {
+		t.Fatalf("crossings = %d, want 2", got)
+	}
+	if len(events) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(events))
+	}
+	for i, want := range []int64{1100, 2300} {
+		if events[i].Kind != trace.KindEnvelopeCross || events[i].Arg != want {
+			t.Fatalf("event %d = %+v, want envelope-cross arg %d", i, events[i], want)
+		}
+	}
+	s := reg.Snapshot()
+	if over := s.Gauges["obs.envelope.over.bytes"]; over.Value != 1300 {
+		t.Fatalf("over gauge = %d, want 1300", over.Value)
+	}
+}
+
+// TestPromExposition: the golden three-line prefix is exact, and each
+// instrument class renders with its Prometheus type.
+func TestPromExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("sched.dispatches").Add(42)
+	reg.Gauge("threads.live").Set(7)
+	h := reg.Histogram("sched.lock.wait")
+	h.Observe(100)
+	h.Observe(300)
+
+	var b strings.Builder
+	writeProm(&b, reg.Snapshot())
+	out := b.String()
+
+	wantPrefix := "# HELP spthreads_up 1 while the spthreads run is live.\n" +
+		"# TYPE spthreads_up gauge\n" +
+		"spthreads_up 1\n"
+	if !strings.HasPrefix(out, wantPrefix) {
+		t.Fatalf("exposition prefix:\n%s", out[:min(len(out), 200)])
+	}
+	for _, want := range []string{
+		"# TYPE spthreads_sched_dispatches counter\nspthreads_sched_dispatches 42\n",
+		"# TYPE spthreads_threads_live gauge\nspthreads_threads_live 7\n",
+		"spthreads_threads_live_max 7\n",
+		"# TYPE spthreads_sched_lock_wait summary\n",
+		"spthreads_sched_lock_wait_sum 400\n",
+		"spthreads_sched_lock_wait_count 2\n",
+		`spthreads_sched_lock_wait{quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Instrument names are dotted; exposition names must not be (label
+	// values like quantile="0.5" legitimately keep their dots).
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, _ := strings.Cut(strings.Fields(line)[0], "{")
+		if strings.Contains(name, ".") {
+			t.Errorf("unsanitized metric name in %q", line)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"spthreads/internal/metrics"
+)
+
+// This file renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges verbatim,
+// histograms as summaries (the registry keeps power-of-two quantile
+// bounds, not Prometheus-style cumulative buckets). Every metric name
+// is prefixed spthreads_ and sanitized to the [a-zA-Z0-9_] charset;
+// map iteration is sorted so the output is deterministic.
+//
+// The first three lines are fixed (the spthreads_up gauge) — CI's
+// golden-prefix check pins them.
+
+// writeProm writes the exposition for one snapshot.
+func writeProm(w io.Writer, s *metrics.Snapshot) {
+	fmt.Fprint(w, "# HELP spthreads_up 1 while the spthreads run is live.\n")
+	fmt.Fprint(w, "# TYPE spthreads_up gauge\n")
+	fmt.Fprint(w, "spthreads_up 1\n")
+	if s == nil {
+		return
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(w, "%s %d\n", pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(w, "%s %d\n", pn, g.Value)
+		fmt.Fprintf(w, "# TYPE %s_max gauge\n", pn)
+		fmt.Fprintf(w, "%s_max %d\n", pn, g.Max)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", pn, h.P50)
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %d\n", pn, h.P90)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+// promName prefixes and sanitizes an instrument name for Prometheus.
+func promName(name string) string {
+	out := []byte("spthreads_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"spthreads/internal/trace"
+)
+
+// server is the opt-in HTTP debug endpoint. Four surfaces:
+//
+//	/metrics         Prometheus text exposition of the live registry
+//	/statusz         JSON: thread counts, footprint vs envelope,
+//	                 per-worker dispatch rates, sampler/trace health
+//	/debug/pprof/    the standard Go profiler endpoints
+//	/trace?follow=1  drained trace events streamed as JSONL until the
+//	                 run ends (terminated by the run-end event)
+//
+// The listener binds in newServer so a bad address fails Start
+// synchronously rather than surfacing as a background log line.
+type server struct {
+	ob *Observer
+	ln net.Listener
+	hs *http.Server
+}
+
+func newServer(ob *Observer) (*server, error) {
+	ln, err := net.Listen("tcp", ob.opts.DebugAddr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", ob.handleMetrics)
+	mux.HandleFunc("/statusz", ob.handleStatusz)
+	mux.HandleFunc("/trace", ob.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &server{ob: ob, ln: ln, hs: &http.Server{Handler: mux}}
+	go s.hs.Serve(ln)
+	return s, nil
+}
+
+func (s *server) addr() string { return s.ln.Addr().String() }
+
+// close shuts the endpoint down gracefully: the listener stops
+// accepting and in-flight streams get a short grace period to finish
+// writing the final batch (the run-end the collector just broadcast)
+// before connections are severed.
+func (s *server) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if s.hs.Shutdown(ctx) != nil {
+		s.hs.Close()
+	}
+}
+
+func (ob *Observer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeProm(w, ob.reg.Snapshot())
+}
+
+// statuszPayload is the /statusz wire form (testdata/statusz.schema.json
+// is its contract; CI validates a live response against it).
+type statuszPayload struct {
+	ElapsedNS int64          `json:"elapsed_ns"`
+	Threads   statuszThreads `json:"threads"`
+	Footprint statuszSpace   `json:"footprint"`
+	Sched     statuszSched   `json:"dispatches"`
+	Sampler   statuszSampler `json:"sampler"`
+	Trace     statuszTrace   `json:"trace"`
+}
+
+type statuszThreads struct {
+	Live    int64 `json:"live"`
+	Ready   int64 `json:"ready"`
+	Running int64 `json:"running"`
+}
+
+type statuszSpace struct {
+	HeapBytes     int64 `json:"heap_bytes"`
+	StackBytes    int64 `json:"stack_bytes"`
+	TotalBytes    int64 `json:"total_bytes"`
+	EnvelopeBytes int64 `json:"envelope_bytes"`
+	OverEnvelope  bool  `json:"over_envelope"`
+	Crossings     int64 `json:"crossings"`
+}
+
+type statuszSched struct {
+	Total       int64     `json:"total"`
+	PerWorker   []int64   `json:"per_worker"`
+	RatesPerSec []float64 `json:"rates_per_sec"`
+}
+
+type statuszSampler struct {
+	Samples      int64 `json:"samples"`
+	IntervalNS   int64 `json:"interval_ns"`
+	StallWindows int64 `json:"stall_windows"`
+}
+
+type statuszTrace struct {
+	Drained int64 `json:"drained"`
+}
+
+func (ob *Observer) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s := ob.state()
+	ob.mu.Lock()
+	rates := append([]float64(nil), ob.rates...)
+	ob.mu.Unlock()
+	total := s.HeapBytes + s.StackBytes
+	env := ob.opts.EnvelopeBytes
+	p := statuszPayload{
+		ElapsedNS: s.ElapsedNS,
+		Threads:   statuszThreads{Live: s.Live, Ready: s.Ready, Running: s.Running},
+		Footprint: statuszSpace{
+			HeapBytes:     s.HeapBytes,
+			StackBytes:    s.StackBytes,
+			TotalBytes:    total,
+			EnvelopeBytes: env,
+			OverEnvelope:  env > 0 && total > env,
+			Crossings:     ob.crossings.Value(),
+		},
+		Sched: statuszSched{
+			Total:       s.Dispatches,
+			PerWorker:   s.Workers,
+			RatesPerSec: rates,
+		},
+		Sampler: statuszSampler{
+			Samples:      ob.Samples(),
+			IntervalNS:   ob.opts.interval().Nanoseconds(),
+			StallWindows: ob.stalls.Value(),
+		},
+	}
+	if ob.col != nil {
+		p.Trace.Drained = ob.col.Drained()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}
+
+// handleTrace streams drained trace events as JSONL until the run ends
+// (the collector closes the subscription) or the client goes away. The
+// stream carries only events drained after the subscription — it is a
+// tail, not a replay; full traces come from the post-run recorder.
+func (ob *Observer) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("follow") != "1" {
+		http.Error(w, "the live endpoint only tails: use /trace?follow=1", http.StatusBadRequest)
+		return
+	}
+	if ob.col == nil {
+		http.Error(w, "run has no tracer attached", http.StatusNotFound)
+		return
+	}
+	ch, cancel := ob.col.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Trace-Unit", trace.UnitWallNS.String())
+	stream, err := trace.NewJSONLStream(w, trace.UnitWallNS)
+	if err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case batch, ok := <-ch:
+			if !ok {
+				return
+			}
+			for _, e := range batch {
+				if err := stream.Write(e); err != nil {
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spthreads/internal/metrics"
+	"spthreads/internal/trace"
+	"spthreads/internal/vtime"
+)
+
+// startTestObserver spins up an observer with a live endpoint on a
+// free port, backed by a fake state and (optionally) a collector.
+func startTestObserver(t *testing.T, f *fakeState, col *trace.Collector) *Observer {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.Counter("sched.dispatches").Add(1)
+	ob := New(Options{
+		SampleInterval: 5 * time.Millisecond,
+		EnvelopeBytes:  1 << 20,
+		DebugAddr:      "127.0.0.1:0",
+	}, reg, f.state, nil, col)
+	if err := ob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ob.Shutdown)
+	return ob
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestEndpointMetrics: /metrics serves the Prometheus exposition with
+// the pinned prefix and the live registry's instruments.
+func TestEndpointMetrics(t *testing.T) {
+	ob := startTestObserver(t, &fakeState{}, nil)
+	defer ob.Stop()
+	code, body := get(t, "http://"+ob.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(body, "# HELP spthreads_up 1 while the spthreads run is live.\n# TYPE spthreads_up gauge\nspthreads_up 1\n") {
+		t.Fatalf("/metrics prefix:\n%.200s", body)
+	}
+	if !strings.Contains(body, "spthreads_sched_dispatches 1") {
+		t.Fatalf("/metrics missing registry instrument:\n%s", body)
+	}
+	if !strings.Contains(body, "spthreads_obs_samples") {
+		t.Fatalf("/metrics missing sampler instrument:\n%s", body)
+	}
+}
+
+// TestEndpointStatusz: /statusz serves coherent JSON built from the
+// live state and the last sample window.
+func TestEndpointStatusz(t *testing.T) {
+	f := &fakeState{}
+	f.heap.Store(4096)
+	f.stack.Store(1024)
+	f.ready.Store(2)
+	f.dispatches.Store(10)
+	ob := startTestObserver(t, f, nil)
+	defer ob.Stop()
+	time.Sleep(15 * time.Millisecond) // let a few samples land
+
+	code, body := get(t, "http://"+ob.Addr()+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var p statuszPayload
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, body)
+	}
+	if p.Footprint.TotalBytes != 5120 || p.Footprint.HeapBytes != 4096 {
+		t.Fatalf("footprint = %+v", p.Footprint)
+	}
+	if p.Footprint.EnvelopeBytes != 1<<20 || p.Footprint.OverEnvelope {
+		t.Fatalf("envelope fields = %+v", p.Footprint)
+	}
+	if p.Threads.Ready != 2 || p.Sched.Total != 10 {
+		t.Fatalf("threads/dispatches = %+v / %+v", p.Threads, p.Sched)
+	}
+	if p.Sampler.Samples < 1 || p.Sampler.IntervalNS != (5*time.Millisecond).Nanoseconds() {
+		t.Fatalf("sampler block = %+v", p.Sampler)
+	}
+	if len(p.Sched.PerWorker) != 1 {
+		t.Fatalf("per-worker = %v", p.Sched.PerWorker)
+	}
+}
+
+// TestEndpointPprof: the standard profiler index is wired.
+func TestEndpointPprof(t *testing.T) {
+	ob := startTestObserver(t, &fakeState{}, nil)
+	defer ob.Stop()
+	code, body := get(t, "http://"+ob.Addr()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %.100s", code, body)
+	}
+}
+
+// TestEndpointTraceFollow: /trace?follow=1 streams drained events as
+// JSONL (header first) and ends when the collector finishes; a plain
+// /trace is rejected and an untraced run 404s.
+func TestEndpointTraceFollow(t *testing.T) {
+	ring := trace.NewRing(1 << 10)
+	col := trace.NewCollector(time.Millisecond, ring)
+	col.Start()
+	ob := startTestObserver(t, &fakeState{}, col)
+	defer ob.Stop()
+
+	if code, _ := get(t, "http://"+ob.Addr()+"/trace"); code != http.StatusBadRequest {
+		t.Fatalf("bare /trace status %d, want 400", code)
+	}
+
+	resp, err := http.Get("http://" + ob.Addr() + "/trace?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Produce events after the subscription is up, then end the run.
+	go func() {
+		for i := 0; i < 50; i++ {
+			ring.Record(vtime.Time(i), 0, int64(i), trace.KindWake, 0)
+			time.Sleep(200 * time.Microsecond)
+		}
+		ring.Record(50, -1, 0, trace.KindRunEnd, trace.RunEndClean)
+		time.Sleep(5 * time.Millisecond) // let the drain tick pick it up
+		col.Finish(trace.NewRecorder(0), trace.UnitWallNS)
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("streamed %d lines, want header + events", len(lines))
+	}
+	var hdr struct {
+		Unit string `json:"unit"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Unit != "wall-ns" {
+		t.Fatalf("header line %q (err %v)", lines[0], err)
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"kind":"run-end"`) {
+		t.Fatalf("stream did not end with run-end: %q", last)
+	}
+	// The whole stream must parse back as a trace (proves the wire
+	// format matches the offline reader pttrace -follow reuses).
+	rec, err := trace.ReadJSONL(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.Events()); n < 2 {
+		t.Fatalf("reader parsed %d events", n)
+	}
+}
+
+// TestBadDebugAddr: a bad listen address fails Start synchronously.
+func TestBadDebugAddr(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := &fakeState{}
+	ob := New(Options{DebugAddr: "256.0.0.1:http-nope"}, reg, f.state, nil, nil)
+	if err := ob.Start(); err == nil {
+		ob.Stop()
+		t.Fatal("Start accepted an unlistenable address")
+	}
+}
+

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector incrementally drains a set of per-worker rings while the
+// run is live, so a run longer than the rings' capacity stops dropping
+// events and a streaming tail of the trace becomes possible. It keeps
+// one buffer per ring (each in ring order, the invariant IngestSlices
+// needs), broadcasts every drain pass to subscribers as a time-sorted
+// batch, and at Finish merges everything into a Recorder through the
+// same k-way time-sorted merge a post-mortem ingest uses — so a
+// drained run and an undrained run that both lost nothing produce the
+// identical merged trace.
+type Collector struct {
+	rings    []*Ring
+	interval time.Duration
+
+	// bufs is touched only by the drain goroutine, then — sequenced by
+	// done — by Finish. No lock needed.
+	bufs [][]Event
+
+	drained atomic.Int64
+
+	mu       sync.Mutex
+	subs     map[int]chan []Event
+	nextSub  int
+	finished bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCollector builds a collector over the given rings, draining every
+// interval (0 selects 10ms). Call Start to begin draining and Finish
+// exactly once when every producer has quiesced.
+func NewCollector(interval time.Duration, rings ...*Ring) *Collector {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	bufs := make([][]Event, len(rings))
+	for i, g := range rings {
+		if g != nil {
+			// Pre-size each buffer at its ring's capacity: early append
+			// growth during the run is allocation (and GC pressure) on
+			// the traced run's own clock.
+			bufs[i] = make([]Event, 0, g.Cap())
+		}
+	}
+	return &Collector{
+		rings:    rings,
+		interval: interval,
+		bufs:     bufs,
+		subs:     make(map[int]chan []Event),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background drain loop.
+func (c *Collector) Start() {
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.drainOnce()
+			}
+		}
+	}()
+}
+
+// drainOnce drains every ring into its buffer and broadcasts the newly
+// drained events (time-sorted across rings) to subscribers. Called
+// only from the drain goroutine, or from Finish after it has exited.
+func (c *Collector) drainOnce() {
+	// The batch copy and its sort exist only for subscribers; with none
+	// attached (the common gated-benchmark case) a drain pass is just
+	// the per-ring copies. A Subscribe racing this check misses at most
+	// the pass in flight.
+	c.mu.Lock()
+	nsubs := len(c.subs)
+	c.mu.Unlock()
+	var fresh []Event
+	var n int64
+	for i, g := range c.rings {
+		if g == nil {
+			continue
+		}
+		before := len(c.bufs[i])
+		c.bufs[i] = g.Drain(c.bufs[i])
+		n += int64(len(c.bufs[i]) - before)
+		if nsubs > 0 {
+			fresh = append(fresh, c.bufs[i][before:]...)
+		}
+	}
+	if n == 0 {
+		return
+	}
+	c.drained.Add(n)
+	if nsubs == 0 {
+		return
+	}
+	// Within one pass a time-sorted batch is cheap and makes the
+	// streamed tail near-chronological (events can still straddle pass
+	// boundaries out of order; followers needing exact order re-sort).
+	slices.SortStableFunc(fresh, func(a, b Event) int { return cmp.Compare(a.At, b.At) })
+	c.mu.Lock()
+	for _, ch := range c.subs {
+		select {
+		case ch <- fresh:
+		default:
+			// A follower that stopped reading must not stall the
+			// collector; it misses this batch.
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Drained reports how many events the collector has drained so far.
+func (c *Collector) Drained() int64 { return c.drained.Load() }
+
+// Subscribe registers a live tail: every future drain pass arrives as
+// one time-sorted batch. A subscriber that falls behind (16 buffered
+// batches) misses batches rather than stalling the collector. The
+// channel closes at Finish; cancel unsubscribes early. Subscribing
+// after Finish yields an already-closed channel.
+func (c *Collector) Subscribe() (<-chan []Event, func()) {
+	ch := make(chan []Event, 16)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		close(ch)
+		return ch, func() {}
+	}
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = ch
+	return ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if sub, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(sub)
+		}
+	}
+}
+
+// Finish stops the drain loop, performs a final drain (producers must
+// have quiesced, so nothing is left in flight), folds ring drop counts
+// into rec, merges all drained events into it time-sorted, and closes
+// every subscriber channel. The recorder ends up exactly as if it had
+// ingested undrained rings that never overflowed.
+func (c *Collector) Finish(rec *Recorder, unit TimeUnit) {
+	close(c.stop)
+	<-c.done
+	c.drainOnce()
+	for _, g := range c.rings {
+		if g != nil {
+			rec.AddDropped(g.Dropped())
+		}
+	}
+	rec.IngestSlices(unit, c.bufs...)
+	c.mu.Lock()
+	c.finished = true
+	for id, ch := range c.subs {
+		delete(c.subs, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+}

@@ -7,6 +7,7 @@ package pthread_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"spthreads/pthread"
 )
@@ -59,6 +60,33 @@ func TestRejectNativeDAG(t *testing.T) {
 	// alternative (trace the run, analyze offline).
 	cfg := pthread.Config{Backend: pthread.BackendNative, DAG: pthread.NewDAGBuilder()}
 	mustReject(t, cfg, "run with Tracer and feed the trace to ptanalyze")
+}
+
+func TestRejectSimSampleInterval(t *testing.T) {
+	// Live introspection is native-only; each option gets its own rule
+	// naming the constraint and the post-mortem alternative.
+	cfg := pthread.Config{SampleInterval: 100 * time.Millisecond}
+	mustReject(t, cfg, "SampleInterval needs the native backend")
+}
+
+func TestRejectSimSpaceEnvelope(t *testing.T) {
+	cfg := pthread.Config{SpaceEnvelope: 1 << 20}
+	mustReject(t, cfg, "SpaceEnvelope needs the native backend")
+}
+
+func TestRejectSimDebugAddr(t *testing.T) {
+	cfg := pthread.Config{DebugAddr: "127.0.0.1:0"}
+	mustReject(t, cfg, "DebugAddr needs the native backend")
+}
+
+func TestRejectNegativeSampleInterval(t *testing.T) {
+	cfg := pthread.Config{Backend: pthread.BackendNative, SampleInterval: -time.Second}
+	mustReject(t, cfg, "negative SampleInterval")
+}
+
+func TestRejectNegativeSpaceEnvelope(t *testing.T) {
+	cfg := pthread.Config{Backend: pthread.BackendNative, SpaceEnvelope: -1}
+	mustReject(t, cfg, "negative SpaceEnvelope")
 }
 
 func TestNativeTracerAccepted(t *testing.T) {

@@ -1,0 +1,238 @@
+package pthread_test
+
+// Live observability end to end on the native backend: a run with
+// SampleInterval set must take mid-run metric samples, switch the
+// tracer to small drained rings without dropping events, fire the
+// space-envelope watchdog when the footprint exceeds SpaceEnvelope,
+// and (with DebugAddr) serve /metrics and /statusz while the run is
+// still in flight.
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spthreads/internal/analyze"
+	"spthreads/internal/trace"
+	"spthreads/pthread"
+)
+
+// spin busy-waits for roughly d of wall time, keeping a native thread
+// on-CPU so the run lasts long enough for sampler ticks and drain
+// intervals to land mid-run.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+func TestNativeLiveObsDrainsWithoutDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long event-volume run")
+	}
+	// The drained rings hold 32768 events each (3 rings at procs=2); the
+	// workload below emits far more than their combined capacity, so a
+	// zero-drop finish proves the collector streamed events out mid-run.
+	const ringTotal = 3 * 32768
+	rec := pthread.NewTraceRecorder(1 << 19)
+	reg := pthread.NewMetrics()
+	cfg := nativeCfg(2)
+	cfg.Tracer = rec
+	cfg.Metrics = reg
+	cfg.SampleInterval = 2 * time.Millisecond
+	const waves, width = 360, 60 // 21600 threads, ~6 events each
+	st, err := pthread.Run(cfg, func(mt *pthread.T) {
+		for w := 0; w < waves; w++ {
+			var fns []func(*pthread.T)
+			for i := 0; i < width; i++ {
+				fns = append(fns, func(wt *pthread.T) {
+					wt.Charge(1000)
+					spin(15 * time.Microsecond)
+				})
+			}
+			mt.Par(fns...)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("dropped %d events with the drain collector active, want 0", rec.Dropped())
+	}
+	events := rec.Events()
+	if len(events) <= ringTotal {
+		t.Fatalf("trace holds %d events, want > %d so the rings must have wrapped",
+			len(events), ringTotal)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("drained trace not time-sorted at [%d]", i)
+		}
+	}
+	if last := events[len(events)-1]; last.Kind != trace.KindRunEnd || last.Arg != trace.RunEndClean {
+		t.Fatalf("last event = %+v, want clean run-end", last)
+	}
+	if st.Metrics == nil {
+		t.Fatal("Stats.Metrics missing")
+	}
+	if n := st.Metrics.Counters["obs.samples"]; n < 2 {
+		t.Errorf("obs.samples = %d over a multi-ms run at 2ms interval, want >= 2", n)
+	}
+}
+
+func TestNativeEnvelopeWatchdogFires(t *testing.T) {
+	// An envelope of one byte is crossed by any allocation; the watchdog
+	// must record KindEnvelopeCross and the analyzer must still accept
+	// the trace.
+	rec := pthread.NewTraceRecorder(1 << 16)
+	cfg := nativeCfg(2)
+	cfg.Tracer = rec
+	cfg.Metrics = pthread.NewMetrics()
+	cfg.SampleInterval = time.Millisecond
+	cfg.SpaceEnvelope = 1
+	// The main thread holds an over-envelope allocation and keeps the
+	// run alive until the watchdog's counter shows a crossing landed
+	// (the sampler goroutine can be starved for a while on a loaded
+	// single-CPU host), bounded by a generous deadline.
+	crossed := cfg.Metrics.Counter("obs.envelope.crossings")
+	st, err := pthread.Run(cfg, func(mt *pthread.T) {
+		a := mt.Malloc(1 << 16)
+		deadline := time.Now().Add(10 * time.Second)
+		for crossed.Value() == 0 && time.Now().Before(deadline) {
+			var fns []func(*pthread.T)
+			for i := 0; i < 4; i++ {
+				fns = append(fns, func(wt *pthread.T) {
+					wt.Charge(1000)
+					spin(time.Millisecond)
+				})
+			}
+			mt.Par(fns...)
+		}
+		mt.Free(a)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var crosses int
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindEnvelopeCross {
+			crosses++
+			if e.Arg <= 1 {
+				t.Errorf("envelope-cross payload = %d, want the footprint that crossed", e.Arg)
+			}
+			if e.Proc != -1 {
+				t.Errorf("envelope-cross proc = %d, want -1 (machine-level)", e.Proc)
+			}
+		}
+	}
+	if crosses == 0 {
+		t.Fatal("no envelope-cross events despite a 1-byte envelope")
+	}
+	if st.Metrics == nil || st.Metrics.Counters["obs.envelope.crossings"] == 0 {
+		t.Error("obs.envelope.crossings counter not incremented")
+	}
+	if _, aerr := analyze.Analyze(rec, analyze.Options{Policy: "adf"}); aerr != nil {
+		t.Fatalf("analyze trace with envelope-cross events: %v", aerr)
+	}
+}
+
+func TestNativeDebugEndpointServesMidRun(t *testing.T) {
+	// Reserve a port, release it, and hand it to DebugAddr: the run
+	// serves /statusz and /metrics while threads are still executing.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cfg := nativeCfg(2)
+	cfg.SampleInterval = time.Millisecond
+	cfg.DebugAddr = addr
+	var done atomic.Bool
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := pthread.Run(cfg, func(mt *pthread.T) {
+			for !done.Load() {
+				spin(100 * time.Microsecond)
+			}
+		})
+		runErr <- err
+	}()
+	defer done.Store(true)
+
+	get := func(path string) (string, bool) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", false
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body), true
+	}
+
+	// The server binds before the workload starts; poll briefly anyway
+	// to absorb goroutine startup.
+	var status string
+	ok := false
+	for i := 0; i < 200 && !ok; i++ {
+		status, ok = get("/statusz")
+		if !ok {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !ok {
+		t.Fatal("/statusz never became reachable")
+	}
+	var payload struct {
+		Threads struct {
+			Live int64 `json:"live"`
+		} `json:"threads"`
+		Sampler struct {
+			IntervalNS int64 `json:"interval_ns"`
+		} `json:"sampler"`
+	}
+	if err := json.Unmarshal([]byte(status), &payload); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, status)
+	}
+	if payload.Threads.Live < 1 {
+		t.Errorf("statusz live threads = %d mid-run, want >= 1", payload.Threads.Live)
+	}
+	if payload.Sampler.IntervalNS != int64(time.Millisecond) {
+		t.Errorf("statusz sampler interval = %d, want 1ms", payload.Sampler.IntervalNS)
+	}
+
+	metricsOut, ok := get("/metrics")
+	if !ok {
+		t.Fatal("/metrics unreachable while /statusz serves")
+	}
+	if !strings.HasPrefix(metricsOut, "# HELP spthreads_up ") {
+		t.Errorf("metrics exposition prefix wrong:\n%.200s", metricsOut)
+	}
+	if !strings.Contains(metricsOut, "\nspthreads_up 1\n") {
+		t.Error("metrics exposition missing spthreads_up 1")
+	}
+
+	done.Store(true)
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not finish after workload release")
+	}
+
+	// The debug server dies with the run.
+	if _, err := http.Get("http://" + addr + "/statusz"); err == nil {
+		t.Error("/statusz still serving after the run ended")
+	}
+}

@@ -37,12 +37,14 @@ package pthread
 
 import (
 	"fmt"
+	"time"
 
 	"spthreads/internal/core"
 	"spthreads/internal/dag"
 	"spthreads/internal/exec"
 	"spthreads/internal/metrics"
 	"spthreads/internal/native"
+	"spthreads/internal/obs"
 	"spthreads/internal/sched"
 	"spthreads/internal/spaceprof"
 	"spthreads/internal/trace"
@@ -196,6 +198,24 @@ type Config struct {
 	// thread count at every footprint change, producing the run's
 	// space-over-time curve. Attach a profiler from NewSpaceProfiler.
 	SpaceProf *spaceprof.Profiler
+	// SampleInterval, when > 0, runs a live sampler goroutine that
+	// snapshots the metrics registry and the scheduler's state at that
+	// period while the run is hot (DebugAddr implies a 100ms default).
+	// Native backend only: the sim is a single-goroutine virtual-time
+	// execution with nothing to observe mid-run.
+	SampleInterval time.Duration
+	// SpaceEnvelope, when > 0, arms the live space watchdog with a
+	// fitted S1 + c·p·D envelope in bytes (take it from a ptanalyze
+	// report): each sample compares the live heap+stack footprint
+	// against it, emitting a KindEnvelopeCross trace event and a
+	// crossings counter on every rising edge. Native backend only.
+	SpaceEnvelope int64
+	// DebugAddr, when non-empty, serves the HTTP debug endpoint on that
+	// address for the duration of the run: /metrics (Prometheus text
+	// exposition), /statusz (live JSON status), /debug/pprof, and
+	// /trace?follow=1 (streaming JSONL trace tail; needs Tracer).
+	// Native backend only.
+	DebugAddr string
 }
 
 // Policies lists every selectable scheduling policy name, in a stable
@@ -241,8 +261,28 @@ func newBackend(cfg Config) (exec.Backend, error) {
 				string(cfg.SchedMode), cfg.Policy)
 		}
 	}
+	if cfg.SampleInterval < 0 {
+		return nil, fmt.Errorf("pthread: negative SampleInterval (%v)", cfg.SampleInterval)
+	}
+	if cfg.SpaceEnvelope < 0 {
+		return nil, fmt.Errorf("pthread: negative SpaceEnvelope (%d)", cfg.SpaceEnvelope)
+	}
 	switch cfg.Backend {
 	case "", BackendSim:
+		// Live introspection is native-only by design, not omission: a
+		// sim run is one goroutine stepping virtual time, so a sampler
+		// would observe nothing between steps (and a debug endpoint
+		// would dilate the run it reports on). Each option is rejected
+		// with its own rule so a misconfigured run names the fix.
+		if cfg.SampleInterval != 0 {
+			return nil, fmt.Errorf("pthread: SampleInterval needs the native backend: the sim runs in virtual time with no live state to sample; use Metrics/Tracer for post-mortem inspection")
+		}
+		if cfg.SpaceEnvelope != 0 {
+			return nil, fmt.Errorf("pthread: SpaceEnvelope needs the native backend: the sim's space bound is audited post-mortem (ptanalyze); the live watchdog watches wall-clock runs")
+		}
+		if cfg.DebugAddr != "" {
+			return nil, fmt.Errorf("pthread: DebugAddr needs the native backend: the sim has no live run to serve; inspect Stats, Metrics, or the recorded trace instead")
+		}
 		ccfg := core.Config{
 			Procs:        cfg.Procs,
 			Policy:       pol,
@@ -281,6 +321,11 @@ func newBackend(cfg Config) (exec.Backend, error) {
 			Metrics:      cfg.Metrics,
 			Tracer:       cfg.Tracer,
 			SpaceProf:    cfg.SpaceProf,
+			Obs: obs.Options{
+				SampleInterval: cfg.SampleInterval,
+				EnvelopeBytes:  cfg.SpaceEnvelope,
+				DebugAddr:      cfg.DebugAddr,
+			},
 		})
 	default:
 		return nil, fmt.Errorf("pthread: unknown Backend %q", string(cfg.Backend))
