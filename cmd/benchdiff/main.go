@@ -13,8 +13,9 @@
 // names; sched.lock.wait (the scheduler-lock wait histogram sum from
 // the run's metrics snapshot) lets CI gate contention as well as
 // runtime. Runs are matched by (bench, policy, procs, live_threads)
-// and, when present, the scheduler batch size and execution backend;
-// runs present in only one file are reported but are not failures.
+// and, when present, the scheduler batch size, the sharded-scheduler
+// marker with its steal window, and the execution backend; runs present
+// in only one file are reported but are not failures.
 // Native-backend rows are host wall-clock measurements: their deltas
 // are printed but never trip the threshold (sim rows, being
 // deterministic, still gate), and the wall_ms and ns_per_dispatch
@@ -66,6 +67,8 @@ type benchRun struct {
 	Procs       int     `json:"procs"`
 	Batch       int     `json:"batch"`
 	Backend     string  `json:"backend"`
+	Shard       bool    `json:"shard"`
+	StealWindow int     `json:"steal_window"`
 	Tracer      bool    `json:"tracer"`
 	Sampler     bool    `json:"sampler"`
 	LiveThreads  int     `json:"live_threads"`
@@ -80,6 +83,7 @@ type benchRun struct {
 	OverheadPct  float64 `json:"overhead_pct"`
 	TraceDropped float64 `json:"trace_dropped"`
 	SamplerOverheadPct float64 `json:"sampler_overhead_pct"`
+	LockWaitVsGlobalPct float64 `json:"lock_wait_vs_global_pct"`
 	Metrics     *struct {
 		Histograms map[string]struct {
 			Count float64 `json:"count"`
@@ -135,6 +139,12 @@ var metrics = []metric{
 	{"analysis.peak_bytes", false, false, func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Peak })
 	}},
+	// Native lock wait relative to the matching global-store baseline row
+	// (the contention-sharded experiment). A same-host ratio like the
+	// overhead percentages: gated by an absolute -max ceiling, reported
+	// only as a cross-file delta. Zero (an uncontended pair) is valid, so
+	// presence of the shard marker gates it.
+	{"lock_wait_vs_global_pct", false, true, func(r benchRun) (float64, bool) { return r.LockWaitVsGlobalPct, r.Shard && r.Backend == "native" }},
 	// Contention: total virtual time spent waiting on the scheduler lock
 	// (histogram sum from the run's metrics snapshot). Zero is a valid
 	// value — an uncontended run is comparable and any growth is a
@@ -160,6 +170,11 @@ func key(r benchRun) string {
 	k := fmt.Sprintf("%s|%s|p%d|n%d", r.Bench, r.Policy, r.Procs, r.LiveThreads)
 	if r.Batch > 0 {
 		k += fmt.Sprintf("|b%d", r.Batch)
+	}
+	if r.Shard {
+		// Sharded rows carry their steal window so the contention-sharded
+		// sweep's K arms never collide (w0 is the default window K=p).
+		k += fmt.Sprintf("|shard|w%d", r.StealWindow)
 	}
 	if r.Backend != "" {
 		k += "|" + r.Backend

@@ -474,3 +474,81 @@ func TestTraceDroppedZeroCeiling(t *testing.T) {
 		t.Errorf("drop violation not named:\n%s", out.String())
 	}
 }
+
+// shardBench builds a contention-sharded file: a global batched row,
+// two sharded sim arms distinguished only by steal window, and a native
+// sharded row carrying the lock-wait percentage.
+func shardBench(lockWait float64, pct float64) string {
+	return fmt.Sprintf(`{
+  "experiment": "contention-sharded",
+  "runs": [
+    {"policy": "adf", "procs": 256, "bench": "matmul", "batch": 64, "time_cycles": 2000000, "speedup": 20,
+     "metrics": {"histograms": {"sched.lock.wait": {"count": 900, "sum": 800000}}}},
+    {"policy": "adf-shard", "procs": 256, "bench": "matmul", "shard": true, "steal_window": 1,
+     "time_cycles": 1900000, "speedup": 21,
+     "metrics": {"histograms": {"sched.lock.wait": {"count": 100, "sum": %g}}}},
+    {"policy": "adf-shard", "procs": 256, "bench": "matmul", "shard": true, "steal_window": 256,
+     "time_cycles": 1800000, "speedup": 22,
+     "metrics": {"histograms": {"sched.lock.wait": {"count": 90, "sum": 90000}}}},
+    {"policy": "adf-shard", "procs": 256, "bench": "matmul", "shard": true, "steal_window": 0,
+     "backend": "native", "wall_ms": 120, "lock_wait_vs_global_pct": %g}
+  ]
+}`, lockWait, pct)
+}
+
+// TestShardRowsDistinctKeys: the K arms of the sharded sweep differ
+// only in steal window; the run key must keep them (and the global
+// baseline and the native row) from colliding.
+func TestShardRowsDistinctKeys(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", shardBench(100000, 25)),
+		writeJSON(t, "new.json", shardBench(100000, 25))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "only in") {
+		t.Errorf("sharded rows collided or went unmatched:\n%s", out.String())
+	}
+}
+
+// TestShardLockWaitGated: sched.lock.wait growth on a sharded sim row
+// trips the relative threshold like any other sim row.
+func TestShardLockWaitGated(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10", "-metric", "sched.lock.wait",
+		writeJSON(t, "old.json", shardBench(100000, 25)),
+		writeJSON(t, "new.json", shardBench(200000, 25))}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (lock wait doubled)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "shard|w1") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("sharded lock-wait regression not keyed/named:\n%s", out.String())
+	}
+}
+
+// TestLockWaitVsGlobalCeiling: the native lock-wait ratio is report-only
+// relatively (host-dependent) but gated by -max, mirroring the overhead
+// percentages; 100 means "no worse than the global store".
+func TestLockWaitVsGlobalCeiling(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", shardBench(100000, 25)),
+		writeJSON(t, "new.json", shardBench(100000, 95))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (relative pct change is report-only)\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-max", "lock_wait_vs_global_pct=100",
+		writeJSON(t, "old.json", shardBench(100000, 25)),
+		writeJSON(t, "new.json", shardBench(100000, 140))}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (140%% over a 100%% ceiling)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "lock_wait_vs_global_pct") || !strings.Contains(out.String(), "EXCEEDED") {
+		t.Errorf("ceiling violation not named:\n%s", out.String())
+	}
+}

@@ -13,7 +13,10 @@
 // host-side scheduler cost tracker dispatch — the latter sweeps every
 // policy including the ADF order-maintenance variants "adf-treap" (the
 // previous treap store) and "adf-ref" (the naive linked-list seed)
-// alongside the default DePa-labeled "adf".
+// alongside the default DePa-labeled "adf". The contention-sharded
+// experiment sweeps the sharded variant "adf-shard" (per-worker label
+// heaps with bounded-deviation stealing, Config.SchedShard) against
+// the batched global baseline at p up to 1024.
 package main
 
 import (

@@ -9,7 +9,7 @@
 // reports W, D, W/D, S₁, and the attributed critical path; with -in it
 // skips the run and works from a previously recorded JSONL trace.
 //
-//	pttrace [-policy adf|adf-treap|fifo|lifo|ws|dfd|rr] [-backend sim|native]
+//	pttrace [-policy adf|adf-treap|adf-shard|fifo|lifo|ws|dfd|rr] [-backend sim|native]
 //	        [-procs 4] [-depth 5] [-width 100]
 //	        [-out trace.json] [-events events.jsonl] [-space space.csv]
 //	        [-dot dag.dot] [-analyze] [-in events.jsonl]
@@ -51,7 +51,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pttrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	policy := fs.String("policy", "adf", "scheduler: fifo, lifo, adf, adf-treap, ws, dfd, rr")
+	policy := fs.String("policy", "adf", "scheduler: fifo, lifo, adf, adf-treap, adf-shard, ws, dfd, rr")
 	backend := fs.String("backend", "sim", "execution backend: sim (deterministic virtual time) or native (goroutines, wall clock)")
 	procs := fs.Int("procs", 4, "virtual processors")
 	depth := fs.Int("depth", 5, "fork-tree depth (2^depth leaves)")
@@ -200,7 +200,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *doAnalyze {
 		var quota int64
-		if pthread.Policy(*policy) == pthread.PolicyADF {
+		switch pthread.Policy(*policy) {
+		case pthread.PolicyADF, pthread.PolicyADFShard:
 			quota = pthread.DefaultMemQuota
 		}
 		rep, err := analyze.Analyze(rec, analyze.Options{

@@ -129,6 +129,16 @@ type Machine struct {
 	heapLock   *contention
 	kernelLock *contention
 
+	// Sharded scheduling (core.ShardedPolicy, non-strict): the single
+	// charged scheduler lock is replaced by one short-window contention
+	// model per shard, and cross-shard dispatches additionally pay steal
+	// probes plus the victim shard's lock. sharded is nil for every
+	// other configuration, keeping all existing charging byte-identical.
+	sharded    ShardedPolicy
+	shardLocks []*contention
+	shardOp    vtime.Duration // resolved cm.SchedShardLockOp
+	stealProbe vtime.Duration // resolved cm.SchedStealProbe
+
 	readyAt timeHeap // one entry per ready thread: when it became ready
 
 	// clocks indexes the processor clocks (split busy/idle) so that
@@ -305,6 +315,29 @@ func New(cfg Config) (*Machine, error) {
 	m.kernelLock = newContention(kernelOp, kernelWin)
 	if err := m.resolveSchedMode(); err != nil {
 		return nil, err
+	}
+	if sp, ok := m.policy.(ShardedPolicy); ok && !m.policy.Global() && m.batch <= 1 {
+		m.sharded = sp
+		n := sp.NumShards()
+		if n <= 0 {
+			n = 1
+		}
+		m.shardOp = m.cm.SchedShardLockOp
+		if m.shardOp <= 0 {
+			m.shardOp = vtime.Micro(0.5)
+		}
+		shardWin := m.cm.SchedShardLockWindow
+		if shardWin <= 0 {
+			shardWin = vtime.Micro(25)
+		}
+		m.stealProbe = m.cm.SchedStealProbe
+		if m.stealProbe <= 0 {
+			m.stealProbe = vtime.Micro(0.2)
+		}
+		m.shardLocks = make([]*contention, n)
+		for i := range m.shardLocks {
+			m.shardLocks[i] = newContention(m.shardOp, shardWin)
+		}
 	}
 	m.procs = make([]*Proc, cfg.Procs)
 	for i := range m.procs {
@@ -573,6 +606,9 @@ func (m *Machine) dispatch(p *Proc) {
 	t := m.policy.Next(p.id)
 	if t == nil {
 		panic(fmt.Sprintf("core: policy %s found no thread with %d ready", m.policy.Name(), m.readyAt.len()))
+	}
+	if m.sharded != nil {
+		m.chargeSteal(p, t)
 	}
 	m.readyAt.pop()
 	// Dispatch latency: how long the oldest pending ready timestamp had
@@ -846,6 +882,13 @@ func (m *Machine) queueOp(p *Proc) {
 		m.qinPending++
 		return
 	}
+	if m.sharded != nil {
+		// Sharded mode: the operation lands in this processor's own
+		// shard — a short critical section contending only with other
+		// operations on the same shard.
+		m.shardLockOp(p, p.id)
+		return
+	}
 	p.stats.Sched += m.cm.SchedLockOp
 	m.tick(p, m.cm.SchedLockOp)
 	if !m.policy.Global() {
@@ -858,6 +901,46 @@ func (m *Machine) queueOp(p *Proc) {
 	}
 	if m.schedLock.size() > 1<<14 {
 		m.schedLock.prune(m.minClock())
+	}
+}
+
+// shardLockOp charges one critical section on shard's lock to p: the
+// operation cost plus contention with other same-shard operations in the
+// window. Shard lock waits feed the same sched.lock.wait instrument as
+// the global lock so the contention experiment compares like for like.
+func (m *Machine) shardLockOp(p *Proc, shard int) {
+	p.stats.Sched += m.shardOp
+	m.tick(p, m.shardOp)
+	l := m.shardLocks[shard%len(m.shardLocks)]
+	if wait := l.wait(p.clock); wait > 0 {
+		p.stats.LockWait += wait
+		m.tick(p, wait)
+		m.ins.schedLockWait.Observe(int64(wait))
+	}
+	if l.size() > 1<<14 {
+		l.prune(m.minClock())
+	}
+}
+
+// chargeSteal settles the cost of the sharded policy's most recent Next:
+// each victim shard examined against the steal window costs one probe
+// (published-minimum read plus bound check, no lock), and a cross-shard
+// dispatch additionally pays the victim shard's lock critical section.
+// Own-shard dispatches were already charged by queueOp and cost nothing
+// extra here.
+func (m *Machine) chargeSteal(p *Proc, t *Thread) {
+	victim, probes := m.sharded.TakeSteal()
+	if probes > 0 {
+		d := vtime.Duration(probes) * m.stealProbe
+		p.stats.Sched += d
+		m.tick(p, d)
+	}
+	if victim < 0 {
+		return
+	}
+	m.shardLockOp(p, victim)
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.RecordArg(p.clock, p.id, t.ID, trace.KindSteal, int64(victim))
 	}
 }
 

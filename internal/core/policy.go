@@ -68,6 +68,28 @@ type Policy interface {
 	TimeSlice() vtime.Duration
 }
 
+// ShardedPolicy is the optional extension implemented by policies that
+// keep one ready structure per processor instead of a single global one.
+// The machine then charges per-shard lock critical sections (narrow
+// contention windows over SchedShardLockOp) instead of the global
+// SchedLockOp, and charges steal probes after each cross-shard dispatch.
+// A ShardedPolicy must return Global() == false, except in a strict
+// (sequential-steal) test mode where it deliberately reports true so the
+// machine applies the exact global-lock charging of the oracle policy.
+type ShardedPolicy interface {
+	Policy
+
+	// NumShards returns the number of per-processor shards (>= 1).
+	NumShards() int
+
+	// TakeSteal reports how the most recent Next call obtained its
+	// thread, and resets the record. victim is the shard index the
+	// thread was stolen from, or -1 if it came from the caller's own
+	// shard (or no Next happened); probes is the number of victim
+	// shards examined against the steal window before dispatch.
+	TakeSteal() (victim, probes int)
+}
+
 // BatchNexter is the optional extension implemented by global-queue
 // policies whose ready structure can hand the machine a whole batch of
 // threads, in dispatch order, in one critical section — the Q_in/R/Q_out

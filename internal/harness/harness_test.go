@@ -13,7 +13,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"abldummy", "ablk", "ablloc", "ablsched", "ablws", "backends",
-		"bound-audit", "contention", "dispatch",
+		"bound-audit", "contention", "contention-sharded", "dispatch",
 		"fig1", "fig10", "fig11", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"live-obs", "native-obs", "scale", "space",
 	}

@@ -29,6 +29,15 @@ type BenchRun struct {
 	// Backend names the execution backend for the backend-comparison
 	// experiment ("sim" or "native"; empty rows are sim).
 	Backend string `json:"backend,omitempty"`
+	// Shard marks rows run with the sharded scheduler (per-worker
+	// DePa-label heaps with bounded-deviation stealing); StealWindow is
+	// its deviation bound K (0 on sharded rows means the default K=p).
+	Shard       bool `json:"shard,omitempty"`
+	StealWindow int  `json:"steal_window,omitempty"`
+	// LockWaitVsGlobalPct is a native sharded row's total scheduler
+	// lock wait as a percentage of the matching global-store baseline
+	// row (host-dependent; report-only, bounded by benchdiff -max).
+	LockWaitVsGlobalPct float64 `json:"lock_wait_vs_global_pct,omitempty"`
 
 	// Wall-clock runtime in milliseconds, host-measured around the run
 	// (the median run when Repeat > 1). The only meaningful time under

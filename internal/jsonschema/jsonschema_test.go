@@ -229,7 +229,7 @@ func TestBenchSchemaPolicyEnum(t *testing.T) {
 			          "ns_per_dispatch": 70.5, "vops_per_dispatch": 2.0}]
 		}`, policy))
 	}
-	for _, pol := range []string{"fifo", "lifo", "adf", "adf-treap", "adf-ref", "ws", "dfd", "rr"} {
+	for _, pol := range []string{"fifo", "lifo", "adf", "adf-treap", "adf-ref", "adf-shard", "ws", "dfd", "rr"} {
 		if err := sch.ValidateJSON(doc(pol)); err != nil {
 			t.Errorf("policy %q rejected by bench schema: %v", pol, err)
 		}
@@ -249,5 +249,39 @@ func TestBenchSchemaPolicyEnum(t *testing.T) {
 	}`)
 	if err := sch.ValidateJSON(bad); err == nil {
 		t.Error("negative vops_per_dispatch accepted")
+	}
+}
+
+// TestBenchSchemaShardFields pins the sharded-scheduler additions to
+// the bench contract: shard rows carry the shard marker, the steal
+// window K, the steal counters, and (native rows) the lock-wait
+// percentage versus the global baseline; negative windows and
+// percentages are rejected.
+func TestBenchSchemaShardFields(t *testing.T) {
+	raw, err := os.ReadFile("../../testdata/bench.schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := jsonschema.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(fields string) []byte {
+		return []byte(`{"experiment":"contention-sharded","title":"t","scale":"small","runs":[
+		  {"policy":"adf-shard","procs":256,"bench":"matmul",` + fields + `
+		   "metrics":{"counters":{"sched.steal.count":1234,"sched.steal.window_reject":56},
+		              "histograms":{"sched.lock.wait":{"count":10,"sum":900}}}}]}`)
+	}
+	if err := sch.ValidateJSON(row(`"shard":true,"steal_window":256,"speedup":41.5,`)); err != nil {
+		t.Errorf("sim shard row rejected: %v", err)
+	}
+	if err := sch.ValidateJSON(row(`"shard":true,"steal_window":0,"backend":"native","wall_ms":80.1,"lock_wait_vs_global_pct":23.5,`)); err != nil {
+		t.Errorf("native shard row rejected: %v", err)
+	}
+	if err := sch.ValidateJSON(row(`"shard":true,"steal_window":-1,`)); err == nil {
+		t.Error("negative steal_window accepted")
+	}
+	if err := sch.ValidateJSON(row(`"shard":true,"lock_wait_vs_global_pct":-4,`)); err == nil {
+		t.Error("negative lock_wait_vs_global_pct accepted")
 	}
 }

@@ -39,6 +39,20 @@ func (b *Backend) fork(t *thread, attr core.Attr, fn func(exec.Thread), dummy bo
 	b.lock()
 	b.admit(child)
 	child.span = t.span
+	if b.shards != nil {
+		// Sharded fork path: always the paper's semantics (preempt the
+		// parent, run the child now); the parent goes to this worker's
+		// shard. The push happens after the b.mu section so the thread is
+		// invisible to thieves until every mu-guarded write above landed.
+		t.state = core.StateReady
+		b.addRunning(-1)
+		at, pid := b.tracer.now(), t.pid
+		b.markRunning(child, pid)
+		b.mu.Unlock()
+		b.shards.push(t, pid)
+		t.yieldParkEmit(yieldMsg{next: child}, at, pid, trace.KindPreempt)
+		return child
+	}
 	if b.policy.OnCreate(t.tok, child.tok) {
 		// Parent preempted; this worker executes the child now.
 		t.state = core.StateReady
@@ -89,7 +103,9 @@ func (b *Backend) Join(pt exec.Thread, ptarget exec.Thread) error {
 	if !target.done {
 		target.joiner = t
 		t.state = core.StateBlocked
-		b.policy.OnBlock(t.tok)
+		if b.shards == nil {
+			b.policy.OnBlock(t.tok)
+		}
 		b.addRunning(-1)
 		at, pid := b.tracer.now(), t.pid // pid before the target's exit redispatches t
 		b.mu.Unlock()
@@ -202,7 +218,9 @@ func (b *Backend) Sleep(pt exec.Thread, d vtime.Duration) {
 	}
 	b.lock()
 	t.state = core.StateBlocked
-	b.policy.OnBlock(t.tok)
+	if b.shards == nil {
+		b.policy.OnBlock(t.tok)
+	}
 	b.addRunning(-1)
 	b.sleepers++
 	b.tracer.record(t.pid, t.id, trace.KindBlock, 0)
@@ -213,6 +231,27 @@ func (b *Backend) Sleep(pt exec.Thread, d vtime.Duration) {
 
 // wakeSleeper readies a timer-parked thread.
 func (b *Backend) wakeSleeper(t *thread) {
+	if b.shards != nil {
+		// Three-phase sharded wake: mark ready under b.mu, push outside
+		// it (the shard lock never nests inside b.mu), then drop the
+		// sleeper count. sleepers stays >0 through the push gap so the
+		// deadlock detector cannot fire while the thread is in flight
+		// between the two structures.
+		b.lock()
+		if b.done {
+			b.sleepers--
+			b.mu.Unlock()
+			return
+		}
+		t.state = core.StateReady
+		b.tracer.record(-1, t.id, trace.KindWake, 0)
+		b.mu.Unlock()
+		b.shards.push(t, t.pid)
+		b.lock()
+		b.sleepers--
+		b.mu.Unlock()
+		return
+	}
 	b.lock()
 	b.sleepers--
 	if b.done {

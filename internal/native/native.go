@@ -61,8 +61,22 @@ type Config struct {
 	// SchedBatch, when > 1 and the policy implements core.BatchNexter,
 	// enables per-worker batch refill: a worker pulls up to SchedBatch
 	// threads from the policy in one critical section and runs them
-	// without re-taking the scheduler lock.
+	// without re-taking the scheduler lock. Ignored when Shard is set.
 	SchedBatch int
+	// Shard replaces the policy's ready structure with per-worker
+	// DePa-ordered heaps behind per-worker locks (see shardStore): the
+	// global scheduler mutex shrinks to lifecycle bookkeeping and ready
+	// traffic spreads across the shards. The policy is then consulted
+	// only for quota/dummy/time-slice parameters, and dispatch order is
+	// the ADF (priority, DePa label) order with bounded-deviation steals.
+	Shard bool
+	// StealWindow is the sharded store's deviation bound K (<= 0 selects
+	// Procs). Only meaningful with Shard.
+	StealWindow int
+	// ShardStrict makes every sharded dispatch take the globally leftmost
+	// published entry (the sequential-steal test mode). Only meaningful
+	// with Shard.
+	ShardStrict bool
 	// Metrics, when non-nil, receives the run's instrument values.
 	Metrics *metrics.Registry
 	// Tracer, when non-nil, receives the run's scheduler/memory events.
@@ -97,6 +111,13 @@ type Backend struct {
 	// atomic. cond signals idle workers when work becomes ready.
 	mu   sync.Mutex
 	cond *sync.Cond
+
+	// shards, when non-nil, replaces the policy's ready structure with
+	// the per-worker sharded store (Config.Shard); b.ready and the
+	// batched Q_outs stay at zero then, and idleA mirrors b.idle into an
+	// atomic for the store's lost-wakeup protocol.
+	shards *shardStore
+	idleA  atomic.Int64
 
 	byTok     map[*core.Thread]*thread // live threads by policy token
 	ready     int                      // threads in the policy's ready structure
@@ -204,7 +225,9 @@ func New(cfg Config) (*Backend, error) {
 			dispatches: reg.Counter(fmt.Sprintf("sched.dispatches.w%d", i)),
 		}
 	}
-	if cfg.SchedBatch > 1 {
+	if cfg.Shard {
+		b.shards = newShardStore(b, procs, cfg.StealWindow, cfg.ShardStrict)
+	} else if cfg.SchedBatch > 1 {
 		if bn, ok := cfg.Policy.(core.BatchNexter); ok {
 			b.batchNext = bn
 			b.batch = cfg.SchedBatch
@@ -277,10 +300,17 @@ func (b *Backend) Execute(main func(exec.Thread)) (core.Stats, error) {
 	b.tracer.record(-1, root.id, trace.KindStackAlloc, root.stackSize)
 	b.mu.Lock()
 	b.admit(root)
-	b.policy.OnCreate(nil, root.tok)
+	if b.shards == nil {
+		b.policy.OnCreate(nil, root.tok)
+	}
 	root.state = core.StateReady
-	b.noteReady(root)
+	if b.shards == nil {
+		b.noteReady(root)
+	}
 	b.mu.Unlock()
+	if b.shards != nil {
+		b.shards.push(root, 0)
+	}
 
 	b.wg.Add(b.procs)
 	for pid := 0; pid < b.procs; pid++ {
@@ -390,6 +420,9 @@ func (b *Backend) resumeThread(t *thread) yieldMsg {
 // next blocks until the policy assigns a thread to worker pid, the run
 // completes, or a deadlock is detected.
 func (b *Backend) next(pid int) *thread {
+	if b.shards != nil {
+		return b.nextSharded(pid)
+	}
 	w := b.workers[pid]
 	b.lock()
 	defer b.mu.Unlock()
@@ -446,6 +479,54 @@ func (b *Backend) next(pid int) *thread {
 	}
 }
 
+// nextSharded is next for the sharded store: take (own pop or bounded
+// steal) happens entirely outside b.mu; only marking the thread running
+// and the idle/deadlock protocol touch the scheduler lock. The idle
+// mirror idleA plus the post-increment total re-check implement the
+// sleeper half of the store's Dekker protocol.
+func (b *Backend) nextSharded(pid int) *thread {
+	for {
+		if t := b.shards.take(pid); t != nil {
+			b.lock()
+			b.markRunning(t, pid)
+			b.mu.Unlock()
+			return t
+		}
+		b.lock()
+		if b.done {
+			b.mu.Unlock()
+			return nil
+		}
+		if b.live == 0 {
+			b.done = true
+			b.cond.Broadcast()
+			b.mu.Unlock()
+			return nil
+		}
+		b.idle++
+		b.idleA.Add(1)
+		if b.shards.total.Load() > 0 {
+			// Work appeared between the failed take and going idle.
+			b.idle--
+			b.idleA.Add(-1)
+			b.mu.Unlock()
+			continue
+		}
+		if b.idle == b.procs && b.running == 0 && b.sleepers == 0 {
+			b.failLocked(fmt.Errorf("native: deadlock: %d threads live, none runnable", b.live),
+				trace.RunEndDeadlock)
+			b.idle--
+			b.idleA.Add(-1)
+			b.mu.Unlock()
+			return nil
+		}
+		b.cond.Wait()
+		b.idle--
+		b.idleA.Add(-1)
+		b.mu.Unlock()
+	}
+}
+
 // addRunning adjusts the running-thread count and its lock-free gauge
 // mirror (the observer samples the gauge without b.mu). Caller holds
 // b.mu.
@@ -480,7 +561,11 @@ func (b *Backend) markRunning(t *thread, pid int) {
 func (b *Backend) blockPrep(t *thread) {
 	b.lock()
 	t.state = core.StateBlocked
-	b.policy.OnBlock(t.tok)
+	if b.shards == nil {
+		// Sharded mode skips the policy: a running thread has no entry
+		// in any shard heap, so there is nothing to mark blocked.
+		b.policy.OnBlock(t.tok)
+	}
 	b.addRunning(-1)
 	at, pid := b.tracer.now(), t.pid // pid before a waker redispatches t
 	b.mu.Unlock()
@@ -499,11 +584,20 @@ func (b *Backend) readyThread(t *thread, pid int) {
 		return
 	}
 	t.state = core.StateReady
-	b.policy.OnReady(t.tok, pid)
-	b.noteReady(t)
+	if b.shards == nil {
+		b.policy.OnReady(t.tok, pid)
+		b.noteReady(t)
+	}
 	at := b.tracer.now()
-	b.cond.Signal()
+	if b.shards == nil {
+		b.cond.Signal()
+	}
 	b.mu.Unlock()
+	if b.shards != nil {
+		// Shard locks never nest inside b.mu: the push (and its idle
+		// signal) happens after the lifecycle section.
+		b.shards.push(t, pid)
+	}
 	b.tracer.recordAt(at, pid, t.id, trace.KindWake, 0)
 }
 
@@ -512,12 +606,19 @@ func (b *Backend) readyThread(t *thread, pid int) {
 func (b *Backend) preemptNow(t *thread) {
 	b.lock()
 	t.state = core.StateReady
-	b.policy.OnReady(t.tok, t.pid)
-	b.noteReady(t)
+	if b.shards == nil {
+		b.policy.OnReady(t.tok, t.pid)
+		b.noteReady(t)
+	}
 	b.addRunning(-1)
 	at, pid := b.tracer.now(), t.pid // pid before another worker redispatches t
-	b.cond.Signal()
+	if b.shards == nil {
+		b.cond.Signal()
+	}
 	b.mu.Unlock()
+	if b.shards != nil {
+		b.shards.push(t, pid)
+	}
 	t.yieldParkEmit(yieldMsg{}, at, pid, trace.KindPreempt)
 }
 
@@ -543,7 +644,9 @@ func (b *Backend) exitThread(t *thread) {
 	if t.span > b.maxSpan {
 		b.maxSpan = t.span
 	}
-	b.policy.OnExit(t.tok)
+	if b.shards == nil {
+		b.policy.OnExit(t.tok)
+	}
 	delete(b.byTok, t.tok)
 	b.live--
 	b.addRunning(-1)
@@ -552,15 +655,22 @@ func (b *Backend) exitThread(t *thread) {
 	j := t.joiner
 	if j != nil {
 		j.state = core.StateReady
-		b.policy.OnReady(j.tok, t.pid)
-		b.noteReady(j)
-		b.cond.Signal()
+		if b.shards == nil {
+			b.policy.OnReady(j.tok, t.pid)
+			b.noteReady(j)
+			b.cond.Signal()
+		}
 	}
 	if b.live == 0 {
 		b.done = true
 		b.cond.Broadcast()
 	}
 	b.mu.Unlock()
+	if b.shards != nil && j != nil {
+		// The joiner's exitedSpan/done reads are ordered by the b.mu
+		// section above; only then may another worker dispatch it.
+		b.shards.push(j, pid)
+	}
 	// Hand the worker back first; the exit and joiner-wake records then
 	// land in the handoff's shadow, concurrent with the worker's next
 	// dispatch. This goroutine still emits them before its twg.Done, so

@@ -30,6 +30,14 @@ type thread struct {
 	state core.State // guarded by b.mu
 	pid   int        // worker currently (or last) running this thread
 
+	// Sharded-store heap slot (Config.Shard): key snapshot and heap index,
+	// guarded by the owning shard's lock while the thread sits in a heap.
+	// The label is copied at push time so later Forks by other threads
+	// cannot disturb the ordering of a parked entry.
+	heapLabel core.DepaLabel
+	heapPri   int
+	heapIdx   int
+
 	// readyAt stamps the last transition into the ready structure, for
 	// the dispatch-latency histogram (guarded by b.mu; zero when a
 	// registry is not attached or the thread is not ready).

@@ -34,6 +34,14 @@ const (
 	// label compares. Retained as a differential oracle and for the
 	// dispatch-cost comparison.
 	ADFTreap Kind = "adf-treap"
+
+	// ADFShard is the ADF policy over per-processor ready shards with
+	// bounded-deviation work stealing: each processor dispatches from its
+	// own DePa-ordered heap and steals only threads within StealWindow of
+	// the global leftmost-ready position, so the scheduler lock stops
+	// being a global serial point while the S1 + c·p·D envelope degrades
+	// gracefully with the window instead of vanishing.
+	ADFShard Kind = "adf-shard"
 )
 
 // Options carries policy-specific parameters.
@@ -50,6 +58,15 @@ type Options struct {
 	Seed int64
 	// TimeSlice is RR's round-robin quantum (default 10 virtual ms).
 	TimeSlice vtime.Duration
+	// StealWindow is ADFShard's deviation bound K: a steal is accepted
+	// only if at most K ready threads precede the stolen thread in the
+	// serial depth-first order. <= 0 selects the default, Procs.
+	StealWindow int
+	// ShardStrict puts ADFShard in its sequential-steal deterministic
+	// mode: every dispatch takes the globally leftmost ready thread and
+	// the policy reports Global() == true, making the schedule (and all
+	// virtual times) bit-identical to the adf oracle at any proc count.
+	ShardStrict bool
 	// Metrics, when non-nil, attaches policy-internal gauges (currently
 	// ADF's placeholder-list length and ready count) to the registry.
 	Metrics *metrics.Registry
@@ -85,6 +102,16 @@ func New(kind Kind, opt Options) (core.Policy, error) {
 			p.attachMetrics(opt.Metrics)
 		}
 		return p, nil
+	case ADFShard:
+		k := opt.MemQuota
+		if k == 0 {
+			k = DefaultMemQuota
+		}
+		p := newShard(opt.Procs, opt.StealWindow, opt.ShardStrict, k, opt.DisableDummies)
+		if opt.Metrics != nil {
+			p.attachMetrics(opt.Metrics)
+		}
+		return p, nil
 	case WS:
 		if opt.Procs <= 0 {
 			opt.Procs = 1
@@ -93,7 +120,11 @@ func New(kind Kind, opt Options) (core.Policy, error) {
 		if seed == 0 {
 			seed = 1
 		}
-		return newWS(opt.Procs, seed), nil
+		p := newWS(opt.Procs, seed)
+		if opt.Metrics != nil {
+			p.attachMetrics(opt.Metrics)
+		}
+		return p, nil
 	case DFD:
 		if opt.Procs <= 0 {
 			opt.Procs = 1
@@ -120,4 +151,4 @@ func MustNew(kind Kind, opt Options) core.Policy {
 }
 
 // Kinds lists every policy kind.
-func Kinds() []Kind { return []Kind{FIFO, LIFO, ADF, ADFTreap, WS, DFD, RR} }
+func Kinds() []Kind { return []Kind{FIFO, LIFO, ADF, ADFTreap, ADFShard, WS, DFD, RR} }

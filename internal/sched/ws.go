@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"spthreads/internal/core"
+	"spthreads/internal/metrics"
 	"spthreads/internal/vtime"
 )
 
@@ -21,6 +22,14 @@ type wsPolicy struct {
 	rng    *rand.Rand
 	total  int
 	steals int64
+
+	cSteal *metrics.Counter // sched.steal.count
+}
+
+// attachMetrics binds the steal counter to a registry, making the
+// baseline's steal traffic observable next to adf-shard's.
+func (p *wsPolicy) attachMetrics(r *metrics.Registry) {
+	p.cSteal = r.Counter("sched.steal.count")
 }
 
 type wsDeque struct {
@@ -108,6 +117,7 @@ func (p *wsPolicy) Next(pid int) *core.Thread {
 			if t := p.deques[victim].popTop(); t != nil {
 				p.total--
 				p.steals++
+				p.cSteal.Inc()
 				return t
 			}
 		}

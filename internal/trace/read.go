@@ -15,7 +15,7 @@ import (
 
 // ParseKind maps a kind name (the Kind.String form) back to its Kind.
 func ParseKind(name string) (Kind, error) {
-	for k := KindCreate; k <= KindEnvelopeCross; k++ {
+	for k := KindCreate; k <= KindSteal; k++ {
 		if k.String() == name {
 			return k, nil
 		}

@@ -72,6 +72,12 @@ const (
 	// crossing. Like KindRunEnd it is machine-level: it carries no
 	// thread and per-thread analyzers must skip it.
 	KindEnvelopeCross
+	// KindSteal marks a sharded-scheduler cross-shard dispatch: the
+	// event's thread is the stolen thread, Proc is the thief processor,
+	// and Arg is the victim shard index. It is emitted immediately before
+	// the stolen thread's KindDispatch and only by sharded configurations,
+	// so traces from global-store policies are unchanged.
+	KindSteal
 )
 
 // RunEnd status codes (KindRunEnd's Arg payload).
@@ -116,6 +122,8 @@ func (k Kind) String() string {
 		return "run-end"
 	case KindEnvelopeCross:
 		return "envelope-cross"
+	case KindSteal:
+		return "steal"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

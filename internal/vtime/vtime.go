@@ -97,6 +97,19 @@ type CostModel struct {
 	// SchedLockWindow is the virtual-time window within which scheduler
 	// lock operations are considered to overlap (contend).
 	SchedLockWindow Duration
+	// SchedShardLockOp is the critical-section length of one ready-heap
+	// operation under a per-worker shard lock in the sharded scheduler.
+	// It is shorter than SchedLockOp because the protected structure is a
+	// single small heap rather than the whole ready store.
+	SchedShardLockOp Duration
+	// SchedShardLockWindow is the contention window of one shard lock.
+	// Only operations on the *same* shard contend, so the window is much
+	// narrower than SchedLockWindow.
+	SchedShardLockWindow Duration
+	// SchedStealProbe is the cost of one steal probe: reading a victim
+	// shard's published leftmost label and sizing the deviation bound
+	// against the steal window.
+	SchedStealProbe Duration
 
 	// Memory system.
 
@@ -142,6 +155,12 @@ func Default() *CostModel {
 		SchedLocalOp:    Micro(0.3), // uncontended push/pop on a per-proc queue
 		SchedBatchMove:  Micro(0.5), // one Q_in/R/Q_out move inside the pass
 		SchedLockWindow: Micro(100),
+		// Sharded scheduler: a shard heap operation costs about what a
+		// lock-free Q_in/Q_out push does plus the short lock hold, and
+		// only same-shard operations contend, over a narrow window.
+		SchedShardLockOp:     Micro(0.5),
+		SchedShardLockWindow: Micro(25),
+		SchedStealProbe:      Micro(0.2),
 		MallocBase:      Micro(2.0),
 		BrkSyscall:      Micro(60),
 		PageMap:         Micro(2.5),
