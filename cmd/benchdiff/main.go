@@ -14,14 +14,23 @@
 // the run's metrics snapshot) lets CI gate contention as well as
 // runtime. Runs are matched by (bench, policy, procs, live_threads)
 // and, when present, the scheduler batch size, the sharded-scheduler
-// marker with its steal window, and the execution backend; runs present
-// in only one file are reported but are not failures.
-// Native-backend rows are host wall-clock measurements: their deltas
-// are printed but never trip the threshold (sim rows, being
-// deterministic, still gate), and the wall_ms and ns_per_dispatch
-// metrics are report-only on every backend — the dispatch sweep gates
-// on vops_per_dispatch, the deterministic virtual structure-operation
-// count, instead.
+// marker with its steal window, the execution backend, and the native
+// engine; runs present in only one file are reported but are not
+// failures. Native-backend rows are host wall-clock measurements:
+// their deltas are printed but never trip the threshold (sim rows,
+// being deterministic, still gate), and the wall_ms and
+// ns_per_dispatch metrics are report-only on every backend by default
+// — the dispatch sweep gates on vops_per_dispatch, the deterministic
+// virtual structure-operation count, instead.
+//
+// The one exception is an explicit same-host wall-clock budget:
+// naming wall_ms with -metric arms it as a real gate, native rows
+// included, on row pairs whose repeat is at least 9 on both sides —
+// an opt-in that keeps default all-metric diffs (often against a
+// baseline recorded on another host) from gating wall clocks, while
+// letting CI bound a freshly measured same-host comparison:
+//
+//	benchdiff -threshold 75 -metric wall_ms old.json new.json
 //
 // -max name=value[,name=value...] adds an absolute ceiling: every run
 // in the NEW file whose named metric is present must not exceed value.
@@ -56,7 +65,15 @@ type metric struct {
 	// reportOnly metrics print their deltas but never trip the
 	// threshold (host-dependent wall-clock times).
 	reportOnly bool
-	get        func(r benchRun) (float64, bool)
+	// minRepeat, when nonzero, overrides reportOnly and the native
+	// exemption: the metric gates — on every backend, native included —
+	// when it is explicitly named in -metric AND both matched rows
+	// report at least this many repetitions. Opting in by name keeps
+	// default all-metric diffs (often cross-host) from gating wall
+	// clocks; the repetition floor keeps single-shot medians from
+	// gating on noise.
+	minRepeat int
+	get       func(r benchRun) (float64, bool)
 }
 
 // benchRun mirrors the numeric subset of harness.BenchRun that the
@@ -67,6 +84,8 @@ type benchRun struct {
 	Procs       int     `json:"procs"`
 	Batch       int     `json:"batch"`
 	Backend     string  `json:"backend"`
+	Engine      string  `json:"engine"`
+	Repeat      int     `json:"repeat"`
 	Shard       bool    `json:"shard"`
 	StealWindow int     `json:"steal_window"`
 	Tracer      bool    `json:"tracer"`
@@ -81,6 +100,7 @@ type benchRun struct {
 	NSDispatch   float64 `json:"ns_per_dispatch"`
 	VOpsDispatch float64 `json:"vops_per_dispatch"`
 	OverheadPct  float64 `json:"overhead_pct"`
+	WallVsRefPct float64 `json:"wall_vs_reference_pct"`
 	TraceDropped float64 `json:"trace_dropped"`
 	SamplerOverheadPct float64 `json:"sampler_overhead_pct"`
 	LockWaitVsGlobalPct float64 `json:"lock_wait_vs_global_pct"`
@@ -103,40 +123,59 @@ type benchFile struct {
 	Runs       []benchRun `json:"runs"`
 }
 
+// wallGateMinRepeat is the repetition floor for the explicit wall_ms
+// gate: medians over at least this many interleaved runs are stable
+// enough on one host to carry a (generous) relative threshold.
+const wallGateMinRepeat = 9
+
 var metrics = []metric{
-	{"time_cycles", false, false, func(r benchRun) (float64, bool) { return r.TimeCycles, r.TimeCycles > 0 }},
-	{"wall_ms", false, true, func(r benchRun) (float64, bool) { return r.WallMS, r.WallMS > 0 }},
-	{"speedup", true, false, func(r benchRun) (float64, bool) { return r.Speedup, r.Speedup > 0 }},
-	{"heap_hwm_bytes", false, false, func(r benchRun) (float64, bool) { return r.HeapHWM, r.HeapHWM > 0 }},
-	{"stack_hwm_bytes", false, false, func(r benchRun) (float64, bool) { return r.StackHWM, r.StackHWM > 0 }},
-	{"total_hwm_bytes", false, false, func(r benchRun) (float64, bool) { return r.TotalHWM, r.TotalHWM > 0 }},
+	{name: "time_cycles", get: func(r benchRun) (float64, bool) { return r.TimeCycles, r.TimeCycles > 0 }},
+	// Wall clock is host-dependent, so a default all-metric diff (often
+	// comparing against another host's committed baseline) only reports
+	// it. Naming it with -metric on a same-host pair whose rows both
+	// carry repeat >= 9 turns it into a real budget gate, native rows
+	// included.
+	{name: "wall_ms", reportOnly: true, minRepeat: wallGateMinRepeat,
+		get: func(r benchRun) (float64, bool) { return r.WallMS, r.WallMS > 0 }},
+	{name: "speedup", higherIsBetter: true, get: func(r benchRun) (float64, bool) { return r.Speedup, r.Speedup > 0 }},
+	{name: "heap_hwm_bytes", get: func(r benchRun) (float64, bool) { return r.HeapHWM, r.HeapHWM > 0 }},
+	{name: "stack_hwm_bytes", get: func(r benchRun) (float64, bool) { return r.StackHWM, r.StackHWM > 0 }},
+	{name: "total_hwm_bytes", get: func(r benchRun) (float64, bool) { return r.TotalHWM, r.TotalHWM > 0 }},
 	// Wall ns per dispatch depends on the host that ran the sweep;
 	// vops_per_dispatch is the deterministic virtual structure-operation
 	// count and carries the gate instead.
-	{"ns_per_dispatch", false, true, func(r benchRun) (float64, bool) { return r.NSDispatch, r.NSDispatch > 0 }},
-	{"vops_per_dispatch", false, false, func(r benchRun) (float64, bool) { return r.VOpsDispatch, r.VOpsDispatch > 0 }},
+	{name: "ns_per_dispatch", reportOnly: true, get: func(r benchRun) (float64, bool) { return r.NSDispatch, r.NSDispatch > 0 }},
+	{name: "vops_per_dispatch", get: func(r benchRun) (float64, bool) { return r.VOpsDispatch, r.VOpsDispatch > 0 }},
 	// Tracer overhead is a ratio of two same-host wall times, so the
 	// absolute -max ceiling gates it; a relative delta between two hosts'
 	// overhead percentages is noise, hence report-only here. Negative
 	// values (measurement noise on an effectively free tracer) are valid.
-	{"overhead_pct", false, true, func(r benchRun) (float64, bool) { return r.OverheadPct, r.Tracer }},
+	{name: "overhead_pct", reportOnly: true, get: func(r benchRun) (float64, bool) { return r.OverheadPct, r.Tracer }},
 	// Sampler overhead follows the same pattern: a same-host wall-time
 	// ratio gated by -max, noise as a cross-file delta.
-	{"sampler_overhead_pct", false, true, func(r benchRun) (float64, bool) { return r.SamplerOverheadPct, r.Sampler }},
+	{name: "sampler_overhead_pct", reportOnly: true, get: func(r benchRun) (float64, bool) { return r.SamplerOverheadPct, r.Sampler }},
+	// The tuned engine's best wall time over the reference engine's, as
+	// a percentage (100 = parity; the native-tuned experiment). Another
+	// same-host ratio: CI bounds it with -max (e.g. 105 = "tuned may
+	// not be more than 5% slower"), cross-file deltas are reported only.
+	// Present only on tuned rows whose pair produced a baseline.
+	{name: "wall_vs_reference_pct", reportOnly: true, get: func(r benchRun) (float64, bool) {
+		return r.WallVsRefPct, r.Engine == "tuned" && r.WallVsRefPct > 0
+	}},
 	// Dropped trace events on any traced row. Zero is the expected value
 	// (presence of the tracer, not positivity, gates it), so a -max
 	// ceiling of 0 fails the moment a live-obs row starts dropping.
-	{"trace_dropped", false, true, func(r benchRun) (float64, bool) { return r.TraceDropped, r.Tracer }},
-	{"analysis.work_cycles", false, false, func(r benchRun) (float64, bool) {
+	{name: "trace_dropped", reportOnly: true, get: func(r benchRun) (float64, bool) { return r.TraceDropped, r.Tracer }},
+	{name: "analysis.work_cycles", get: func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Work })
 	}},
-	{"analysis.depth_cycles", false, false, func(r benchRun) (float64, bool) {
+	{name: "analysis.depth_cycles", get: func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Depth })
 	}},
-	{"analysis.serial_space_bytes", false, false, func(r benchRun) (float64, bool) {
+	{name: "analysis.serial_space_bytes", get: func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.S1 })
 	}},
-	{"analysis.peak_bytes", false, false, func(r benchRun) (float64, bool) {
+	{name: "analysis.peak_bytes", get: func(r benchRun) (float64, bool) {
 		return fromAnalysis(r, func(a struct{ Work, Depth, S1, Peak float64 }) float64 { return a.Peak })
 	}},
 	// Native lock wait relative to the matching global-store baseline row
@@ -144,12 +183,14 @@ var metrics = []metric{
 	// overhead percentages: gated by an absolute -max ceiling, reported
 	// only as a cross-file delta. Zero (an uncontended pair) is valid, so
 	// presence of the shard marker gates it.
-	{"lock_wait_vs_global_pct", false, true, func(r benchRun) (float64, bool) { return r.LockWaitVsGlobalPct, r.Shard && r.Backend == "native" }},
+	{name: "lock_wait_vs_global_pct", reportOnly: true, get: func(r benchRun) (float64, bool) {
+		return r.LockWaitVsGlobalPct, r.Shard && r.Backend == "native"
+	}},
 	// Contention: total virtual time spent waiting on the scheduler lock
 	// (histogram sum from the run's metrics snapshot). Zero is a valid
 	// value — an uncontended run is comparable and any growth is a
 	// regression — so presence of the histogram, not positivity, gates it.
-	{"sched.lock.wait", false, false, func(r benchRun) (float64, bool) {
+	{name: "sched.lock.wait", get: func(r benchRun) (float64, bool) {
 		if r.Metrics == nil {
 			return 0, false
 		}
@@ -178,6 +219,12 @@ func key(r benchRun) string {
 	}
 	if r.Backend != "" {
 		k += "|" + r.Backend
+	}
+	if r.Engine != "" {
+		// Engine-keyed native rows: reference and tuned runs of the same
+		// configuration diff only against their own engine (rows from
+		// before the engine seam carry no engine and keep their old keys).
+		k += "|" + r.Engine
 	}
 	if r.Tracer {
 		k += "|tracer"
@@ -220,6 +267,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	compared := metrics
+	// explicit marks metrics the user named with -metric: the opt-in
+	// that arms minRepeat gating.
+	explicit := make(map[string]bool)
 	if *metricFlag != "" {
 		byName := make(map[string]metric, len(metrics))
 		for _, m := range metrics {
@@ -235,6 +285,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			compared = append(compared, m)
+			explicit[name] = true
 		}
 	}
 	oldF, err := load(fs.Arg(0))
@@ -298,7 +349,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			mark := ""
 			if *threshold > 0 && worse > *threshold {
-				if gated(nr) && !m.reportOnly {
+				eligible := gated(nr) && !m.reportOnly
+				if m.minRepeat > 0 && explicit[m.name] &&
+					or.Repeat >= m.minRepeat && nr.Repeat >= m.minRepeat {
+					// Explicitly selected wall-clock budget on repeated
+					// medians: gates even on native rows.
+					eligible = true
+				}
+				if eligible {
 					mark = "  REGRESSION"
 					regressed = true
 				} else {

@@ -552,3 +552,170 @@ func TestLockWaitVsGlobalCeiling(t *testing.T) {
 		t.Errorf("ceiling violation not named:\n%s", out.String())
 	}
 }
+
+// tunedBench builds a native-tuned style file: a reference-engine and a
+// tuned-engine row of the same bench, the tuned row carrying its best
+// wall time as a percentage of the reference arm's.
+func tunedBench(refMS, tunedMS, vsRefPct float64, repeat int) string {
+	return fmt.Sprintf(`{
+  "experiment": "native-tuned",
+  "runs": [
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native",
+     "engine": "reference", "wall_ms": %g, "repeat": %d},
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native",
+     "engine": "tuned", "wall_ms": %g, "repeat": %d, "wall_vs_reference_pct": %g}
+  ]
+}`, refMS, repeat, tunedMS, repeat, vsRefPct)
+}
+
+// TestEngineRowsDistinctKeys: reference and tuned rows of the same
+// configuration are separate runs keyed by engine, not a collision.
+func TestEngineRowsDistinctKeys(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", tunedBench(100, 90, 90, 9)),
+		writeJSON(t, "new.json", tunedBench(100, 90, 90, 9))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "only in") {
+		t.Errorf("engine rows collided or went unmatched:\n%s", out.String())
+	}
+}
+
+// TestWallMSDefaultNotGated: without naming wall_ms in -metric, even a
+// repeat>=9 native wall-clock blowup stays report-only — default
+// all-metric diffs are often cross-host comparisons.
+func TestWallMSDefaultNotGated(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", tunedBench(100, 90, 90, 9)),
+		writeJSON(t, "new.json", tunedBench(300, 280, 93, 9))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (wall_ms not explicitly selected)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "not gated") {
+		t.Errorf("output missing the reported-not-gated marker:\n%s", out.String())
+	}
+}
+
+// TestWallMSExplicitGateOnNativeRows: -metric wall_ms on a repeated
+// same-host pair is a real budget — a native row past the threshold
+// fails the diff despite the usual native exemption.
+func TestWallMSExplicitGateOnNativeRows(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "50", "-metric", "wall_ms",
+		writeJSON(t, "old.json", tunedBench(100, 90, 90, 9)),
+		writeJSON(t, "new.json", tunedBench(100, 250, 250, 9))}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (tuned wall grew 178%% past a 50%% budget)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "|tuned") {
+		t.Errorf("regression not keyed to the tuned engine row:\n%s", out.String())
+	}
+
+	// Within budget: passes.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-threshold", "50", "-metric", "wall_ms",
+		writeJSON(t, "old.json", tunedBench(100, 90, 90, 9)),
+		writeJSON(t, "new.json", tunedBench(110, 100, 91, 9))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (10%% drift under a 50%% budget)\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+}
+
+// TestWallMSGateNeedsRepeats: the explicit wall gate only arms when
+// both rows' medians cover at least 9 repetitions — single-shot wall
+// times are too noisy to gate even same-host.
+func TestWallMSGateNeedsRepeats(t *testing.T) {
+	for _, tc := range []struct{ oldRep, newRep int }{{1, 9}, {9, 1}, {3, 3}} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-threshold", "50", "-metric", "wall_ms",
+			writeJSON(t, "old.json", tunedBench(100, 90, 90, tc.oldRep)),
+			writeJSON(t, "new.json", tunedBench(100, 250, 250, tc.newRep))}, &out, &errb)
+		if code != 0 {
+			t.Errorf("repeat %d->%d: run = %d, want 0 (below the repeat floor)\nstdout: %s",
+				tc.oldRep, tc.newRep, code, out.String())
+		}
+	}
+}
+
+// TestWallMSZeroToNonzero: a row whose wall clock appears from zero
+// (an old sim-style row without wall_ms) must not register an
+// infinite regression — absence, not zero, is the baseline state.
+func TestWallMSZeroToNonzero(t *testing.T) {
+	oldB := `{
+  "experiment": "native-tuned",
+  "runs": [
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native",
+     "engine": "tuned", "repeat": 9}
+  ]
+}`
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "50", "-metric", "wall_ms",
+		writeJSON(t, "old.json", oldB),
+		writeJSON(t, "new.json", tunedBench(100, 90, 90, 9))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (old row has no wall_ms to compare)\nstdout: %s", code, out.String())
+	}
+}
+
+// TestWallMSMissingPair: a tuned row with no old-file counterpart is
+// reported as unmatched, never gated.
+func TestWallMSMissingPair(t *testing.T) {
+	oldB := `{
+  "experiment": "native-tuned",
+  "runs": [
+    {"policy": "adf", "procs": 4, "bench": "matmul", "backend": "native",
+     "engine": "reference", "wall_ms": 100, "repeat": 9}
+  ]
+}`
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "50", "-metric", "wall_ms",
+		writeJSON(t, "old.json", oldB),
+		writeJSON(t, "new.json", tunedBench(100, 250, 250, 9))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (tuned row unmatched)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "only in") {
+		t.Errorf("unmatched tuned row not reported:\n%s", out.String())
+	}
+}
+
+// TestWallVsRefCeiling: -max wall_vs_reference_pct bounds how much
+// slower than the reference engine the tuned engine may run; relative
+// deltas between two files stay report-only.
+func TestWallVsRefCeiling(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threshold", "10",
+		writeJSON(t, "old.json", tunedBench(100, 90, 90, 9)),
+		writeJSON(t, "new.json", tunedBench(100, 98, 98, 9))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (vs-ref relative delta is report-only)\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-max", "wall_vs_reference_pct=105",
+		writeJSON(t, "old.json", tunedBench(100, 90, 90, 9)),
+		writeJSON(t, "new.json", tunedBench(100, 112, 112, 9))}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (112%% over a 105%% ceiling)\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "wall_vs_reference_pct") || !strings.Contains(out.String(), "EXCEEDED") {
+		t.Errorf("ceiling violation not named:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-max", "wall_vs_reference_pct=105",
+		writeJSON(t, "old.json", tunedBench(100, 98, 98, 9)),
+		writeJSON(t, "new.json", tunedBench(100, 98, 98, 9))}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (98%% under a 105%% ceiling; reference rows carry no ratio)\nstdout: %s",
+			code, out.String())
+	}
+}

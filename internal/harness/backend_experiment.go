@@ -94,7 +94,11 @@ func runBackends(w io.Writer, opt Options) error {
 	for _, b := range backendBenches(opt.paper()) {
 		for _, backend := range opt.backends() {
 			for _, p := range opt.procs(backendProcs) {
-				st, ms := timedRun(backendConfig(backend, p), b.prog, repeat)
+				cfg := backendConfig(backend, p)
+				if backend == pthread.BackendNative {
+					cfg.Engine = pthread.Engine(opt.Engine)
+				}
+				st, ms := timedRun(cfg, b.prog, repeat)
 				virtual := "-"
 				if backend == pthread.BackendSim {
 					virtual = fmt.Sprintf("%.0f", st.Time.Microseconds())
@@ -118,6 +122,9 @@ func jsonBackends(opt Options) (*BenchResult, error) {
 			for _, p := range opt.procs(backendProcs) {
 				cfg := backendConfig(backend, p)
 				cfg.Metrics = pthread.NewMetrics()
+				if backend == pthread.BackendNative {
+					cfg.Engine = pthread.Engine(opt.Engine)
+				}
 				st, ms := timedRun(cfg, b.prog, repeat)
 				row := statsRun(cfg.Policy, p, st)
 				row.Bench = b.name
@@ -128,6 +135,7 @@ func jsonBackends(opt Options) (*BenchResult, error) {
 					// Native virtual time is wall-derived and
 					// host-dependent; leave only the wall clock.
 					row.TimeCycles, row.TimeUS = 0, 0
+					row.Engine = opt.Engine
 				}
 				res.Runs = append(res.Runs, row)
 			}

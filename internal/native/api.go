@@ -26,14 +26,14 @@ func (b *Backend) Fork(pt exec.Thread, attr core.Attr, fn func(exec.Thread)) exe
 
 // fork is Fork with the dummy marker settable before the child can run.
 func (b *Backend) fork(t *thread, attr core.Attr, fn func(exec.Thread), dummy bool) *thread {
-	child := b.newThread(attr, fn)
+	child := b.newThread(t.pid, attr, fn)
 	child.isDummy = dummy
 	// DePa order maintenance: the label assignment is the whole point of
 	// the scheme — it happens here on the parent's goroutine, before the
 	// scheduler lock, with zero shared state. The policy reads the label
 	// under b.mu, which orders the write ahead of every use.
 	child.tok.Order = t.tok.Order.Fork()
-	b.chargeStack(child)
+	b.chargeStack(child, t.pid)
 	b.tracer.record(t.pid, child.id, trace.KindCreate, t.id)
 	b.tracer.record(t.pid, child.id, trace.KindStackAlloc, child.stackSize)
 	b.lock()
@@ -121,6 +121,11 @@ func (b *Backend) Join(pt exec.Thread, ptarget exec.Thread) error {
 		t.span = target.exitedSpan
 	}
 	b.tracer.record(t.pid, t.id, trace.KindJoin, target.id)
+	if b.pool != nil {
+		// Joiner's last read of the record is above; drop its lifecycle
+		// reference so the exiter (or this release) can recycle it.
+		b.releaseThread(target)
+	}
 	return nil
 }
 
@@ -166,7 +171,18 @@ func (b *Backend) Malloc(pt exec.Thread, n int64) core.Alloc {
 	if d := b.policy.AllocDummies(n); d > 0 {
 		b.forkDummies(t, d)
 	}
-	addr := b.mem.allocHeap(n)
+	var addr int64
+	if b.cells != nil {
+		// Tuned: bump the worker-private address range and accumulate the
+		// delta in the worker's cell (published at the flush threshold or
+		// the quota boundary below).
+		c := &b.cells[t.pid]
+		c.addr += n
+		addr = cellAddrBase(t.pid) + c.addr - n + 1<<12
+		b.cellAdd(t.pid, n, 0)
+	} else {
+		addr = b.mem.allocHeap(n)
+	}
 	b.allocTally.Add(1)
 	b.tracer.record(t.pid, t.id, trace.KindAlloc, n)
 	b.sampleSpace()
@@ -174,6 +190,12 @@ func (b *Backend) Malloc(pt exec.Thread, n int64) core.Alloc {
 	if b.quota > 0 {
 		t.quotaLeft -= n
 		if t.quotaLeft <= 0 {
+			if b.cells != nil {
+				// Quota-check boundary: publish this worker's pending delta
+				// so the shared envelope the watchdog reads is no staler
+				// than one quota per other worker (< p·flushBytes total).
+				b.flushCell(&b.cells[t.pid])
+			}
 			b.quotaTally.Add(1)
 			b.tracer.record(t.pid, t.id, trace.KindQuotaExhausted, n)
 			b.preemptNow(t)
@@ -188,7 +210,11 @@ func (b *Backend) Free(pt exec.Thread, a core.Alloc) {
 		return
 	}
 	t := nt(pt)
-	b.mem.freeHeap(a.Size)
+	if b.cells != nil {
+		b.cellAdd(t.pid, -a.Size, 0)
+	} else {
+		b.mem.freeHeap(a.Size)
+	}
 	b.freeTally.Add(1)
 	b.tracer.record(t.pid, t.id, trace.KindFree, a.Size)
 	b.sampleSpace()

@@ -35,6 +35,7 @@ package native
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +95,11 @@ type Config struct {
 	// background collector streams them into the recorder during the
 	// run, so long runs stop dropping events.
 	Obs obs.Options
+	// Engine selects the execution engine: "" or EngineReference (one
+	// goroutine + channel pair per thread, shared-atomic accounting) or
+	// EngineTuned (pooled loop goroutines, per-worker record arenas,
+	// batched per-worker accounting cells). Validated against Engines().
+	Engine string
 }
 
 // Backend is one native run. It is single-shot: build one per Execute.
@@ -138,6 +144,15 @@ type Backend struct {
 	start time.Time
 
 	mem mem // atomic footprint accounting
+
+	// Tuned-engine state (all nil/zero under the reference engine; see
+	// engine.go and mem.go). nextIDA replaces the b.mu-guarded nextID so
+	// a tuned fork takes the scheduler lock once, not twice.
+	engine     string
+	pool       *enginePool
+	cells      []memCell
+	flushBytes int64
+	nextIDA    atomic.Int64
 
 	// Atomic tallies flushed into the metrics registry at stats time
 	// (these fire in thread context without the scheduler lock).
@@ -199,17 +214,32 @@ func New(cfg Config) (*Backend, error) {
 		// a private one (its snapshot still lands in Stats.Metrics).
 		reg = metrics.NewRegistry()
 	}
+	engine := cfg.Engine
+	switch engine {
+	case "":
+		engine = EngineReference
+	case EngineReference, EngineTuned:
+	default:
+		return nil, fmt.Errorf("native: unknown Engine %q (valid: %s)",
+			cfg.Engine, strings.Join(Engines(), ", "))
+	}
 	b := &Backend{
 		procs:        procs,
 		policy:       cfg.Policy,
 		quota:        cfg.Policy.Quota(),
 		timeSlice:    cfg.Policy.TimeSlice(),
 		defaultStack: stack,
+		engine:       engine,
 		byTok:        make(map[*core.Thread]*thread),
 		spaceProf:    cfg.SpaceProf,
 		registry:     reg,
 		liveGauge:    reg.Gauge("threads.live"),
 		workers:      make([]*worker, procs),
+	}
+	if engine == EngineTuned {
+		b.pool = newEnginePool(b, procs)
+		b.cells = make([]memCell, procs)
+		b.flushBytes = TunedFlushBytes(b.quota)
 	}
 	b.cond = sync.NewCond(&b.mu)
 	b.tracer = newTracer(cfg.Tracer, procs, cfg.Obs.Enabled())
@@ -260,8 +290,8 @@ func (b *Backend) liveState() obs.LiveState {
 		Live:       b.liveGauge.Value(),
 		Ready:      b.readyGauge.Value(),
 		Running:    b.runningGauge.Value(),
-		HeapBytes:  b.mem.liveHeap.Load(),
-		StackBytes: b.mem.liveStack.Load(),
+		HeapBytes:  b.liveHeapNow(),
+		StackBytes: b.liveStackNow(),
 		Dispatches: b.dispatchTally.Load(),
 		Workers:    ws,
 	}
@@ -269,6 +299,9 @@ func (b *Backend) liveState() obs.LiveState {
 
 // Name implements exec.Backend.
 func (b *Backend) Name() string { return "native" }
+
+// Engine reports the active execution engine id (exec.Engined).
+func (b *Backend) Engine() string { return b.engine }
 
 // Execute implements exec.Backend: it runs main as the root thread on
 // b.procs workers and blocks until the run completes.
@@ -293,9 +326,9 @@ func (b *Backend) Execute(main func(exec.Thread)) (core.Stats, error) {
 		}
 	}
 
-	root := b.newThread(core.Attr{Name: "main"}, main)
+	root := b.newThread(-1, core.Attr{Name: "main"}, main)
 	root.tok.Order = core.RootDepaLabel()
-	b.chargeStack(root)
+	b.chargeStack(root, -1)
 	b.tracer.record(-1, root.id, trace.KindCreate, 0) // Arg 0: no parent
 	b.tracer.record(-1, root.id, trace.KindStackAlloc, root.stackSize)
 	b.mu.Lock()
@@ -402,8 +435,20 @@ func (b *Backend) resumeThread(t *thread) yieldMsg {
 	b.mu.Unlock()
 	at, pid, id := t.dispatchAt, t.pid, t.id
 	if launch {
-		b.twg.Add(1)
-		go t.main()
+		if b.pool != nil {
+			// Tuned launch: adopt a pooled loop as the thread's vehicle.
+			// The channel writes happen-before the resume send, and any
+			// later worker's access to t.resume is ordered behind this
+			// dispatch through the scheduler lock.
+			l := b.pool.getLoop(pid)
+			l.t = t
+			t.l = l
+			t.resume, t.yield = l.resume, l.yield
+			l.resume <- struct{}{}
+		} else {
+			b.twg.Add(1)
+			go t.main()
+		}
 	} else if b.handoff != nil {
 		// The resume channel is unbuffered: the send completes when the
 		// parked goroutine takes it, so this times the actual handoff.
@@ -588,7 +633,10 @@ func (b *Backend) readyThread(t *thread, pid int) {
 		b.policy.OnReady(t.tok, pid)
 		b.noteReady(t)
 	}
-	at := b.tracer.now()
+	// Id snapshot: after the unlock (global path) or the shard push, t
+	// can be dispatched, run to exit, and (tuned engine) have its record
+	// recycled before the KindWake emit below.
+	at, id := b.tracer.now(), t.id
 	if b.shards == nil {
 		b.cond.Signal()
 	}
@@ -598,7 +646,7 @@ func (b *Backend) readyThread(t *thread, pid int) {
 		// signal) happens after the lifecycle section.
 		b.shards.push(t, pid)
 	}
-	b.tracer.recordAt(at, pid, t.id, trace.KindWake, 0)
+	b.tracer.recordAt(at, pid, id, trace.KindWake, 0)
 }
 
 // preemptNow returns the calling thread to the ready structure and
@@ -653,7 +701,13 @@ func (b *Backend) exitThread(t *thread) {
 	b.liveGauge.Set(int64(b.live))
 	at, pid := b.tracer.now(), t.pid
 	j := t.joiner
+	var jid int64
 	if j != nil {
+		// Snapshot the joiner's trace id while b.mu still excludes its
+		// dispatch: once the wake is published the joiner can run, exit,
+		// and (tuned engine) have its record recycled before the KindWake
+		// emit below.
+		jid = j.id
 		j.state = core.StateReady
 		if b.shards == nil {
 			b.policy.OnReady(j.tok, t.pid)
@@ -678,18 +732,37 @@ func (b *Backend) exitThread(t *thread) {
 	t.yield <- yieldMsg{}
 	b.tracer.recordAt(at, pid, t.id, trace.KindExit, 0)
 	if j != nil {
-		b.tracer.recordAt(at, pid, j.id, trace.KindWake, 0)
+		b.tracer.recordAt(at, pid, jid, trace.KindWake, 0)
 	}
 }
 
-// newThread builds a thread without admitting it.
-func (b *Backend) newThread(attr core.Attr, fn func(exec.Thread)) *thread {
+// newThread builds a thread without admitting it. pid is the creating
+// worker (-1 for the root): under the tuned engine it selects the
+// record arena, and the channels stay nil until a pooled loop adopts
+// the thread at first dispatch.
+func (b *Backend) newThread(pid int, attr core.Attr, fn func(exec.Thread)) *thread {
 	if attr.Priority < 0 || attr.Priority >= core.NumPriorities {
 		panic(fmt.Sprintf("native: priority %d out of range", attr.Priority))
 	}
 	stack := attr.StackSize
 	if stack <= 0 {
 		stack = b.defaultStack
+	}
+	if b.pool != nil {
+		id := b.nextIDA.Add(1)
+		t := b.pool.getThread(pid)
+		if t == nil {
+			t = &thread{b: b, tok: &core.Thread{}}
+		}
+		t.id = id
+		t.tok.ID = id
+		t.tok.Priority = attr.Priority
+		t.attr = attr
+		t.fn = fn
+		t.detached = attr.Detached
+		t.stackSize = stack
+		t.refs.Store(threadRefs(attr.Detached))
+		return t
 	}
 	b.lock()
 	b.nextID++
@@ -731,7 +804,22 @@ func (b *Backend) failLocked(err error, status int64) {
 // poisonParked unwinds every started, still-parked thread goroutine
 // after the workers have exited (no thread is running then: started
 // live threads are parked in, or arriving at, their resume receive).
+// Under the tuned engine the walk is over loops, not threads: every
+// loop goroutine — idle in a pool or carrying a parked thread — is
+// guaranteed to reach exactly one more resume receive, so one poison
+// poke each (the unbuffered send blocks until the loop takes it)
+// unwinds the whole fleet with no lost or doubled wakeups.
 func (b *Backend) poisonParked() {
+	if b.pool != nil {
+		b.pool.mu.Lock()
+		all := b.pool.all
+		b.pool.mu.Unlock()
+		for _, l := range all {
+			l.poison = true
+			l.resume <- struct{}{}
+		}
+		return
+	}
 	b.mu.Lock()
 	var parked []*thread
 	for _, t := range b.byTok {
@@ -749,12 +837,24 @@ func (b *Backend) poisonParked() {
 // stats assembles the run's statistics after all goroutines quiesced.
 func (b *Backend) stats() core.Stats {
 	elapsed := wallToV(time.Since(b.start))
+	if b.cells != nil {
+		// Quiesced: publishing every cell makes the live totals exact and
+		// folds any unpublished peak contribution into the HWMs (the
+		// mid-run HWM may still understate a transient true peak by up to
+		// p·flushBytes — the documented staleness bound).
+		b.flushCells()
+	}
 	if r := b.registry; r != nil {
 		r.Counter("sched.dispatches").Add(b.dispatchTally.Load())
 		r.Counter("sched.quota.preempts").Add(b.quotaTally.Load())
 		r.Counter("sched.dummy.forks").Add(b.dummyTally.Load())
 		r.Counter("mem.allocs").Add(b.allocTally.Load())
 		r.Counter("mem.frees").Add(b.freeTally.Load())
+		if p := b.pool; p != nil {
+			r.Counter("engine.loops.created").Add(p.loopsCreated.Load())
+			r.Counter("engine.threads.recycled").Add(p.recycled.Load())
+			r.Counter("engine.threads.reused").Add(p.reused.Load())
+		}
 	}
 	st := core.Stats{
 		Policy:         b.policy.Name(),
@@ -793,7 +893,7 @@ func (b *Backend) sampleSpace() {
 	b.mu.Unlock()
 	b.spMu.Lock()
 	sp.Sample(vtime.Time(wallToV(time.Since(b.start))),
-		b.mem.liveHeap.Load(), b.mem.liveStack.Load(), live)
+		b.liveHeapNow(), b.liveStackNow(), live)
 	b.spMu.Unlock()
 }
 

@@ -2,6 +2,7 @@ package native
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"spthreads/internal/core"
@@ -26,6 +27,15 @@ type thread struct {
 	yield   chan yieldMsg // thread -> worker
 	started bool          // guarded by b.mu
 	poison  bool          // set only after all workers exited
+
+	// Tuned-engine fields (see engine.go). l is the pooled loop whose
+	// goroutine and channels carry this thread's lifetime (nil under the
+	// reference engine); freeNext links the record in a worker arena;
+	// refs counts the lifecycle holders (exiter + joiner) that must
+	// release before the record can be recycled.
+	l        *loop
+	freeNext *thread
+	refs     atomic.Int32
 
 	state core.State // guarded by b.mu
 	pid   int        // worker currently (or last) running this thread
@@ -131,7 +141,7 @@ func (t *thread) main() {
 func (t *thread) yieldPark(msg yieldMsg) {
 	t.yield <- msg
 	<-t.resume
-	if t.poison {
+	if t.poison || (t.l != nil && t.l.poison) {
 		panic(threadAbort{})
 	}
 }
@@ -146,7 +156,7 @@ func (t *thread) yieldParkEmit(msg yieldMsg, at vtime.Time, pid int, kind trace.
 	t.yield <- msg
 	t.b.tracer.recordAt(at, pid, t.id, kind, 0)
 	<-t.resume
-	if t.poison {
+	if t.poison || (t.l != nil && t.l.poison) {
 		panic(threadAbort{})
 	}
 }
